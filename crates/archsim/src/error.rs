@@ -1,0 +1,55 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors from cache-simulator configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A cache parameter was not a power of two.
+    NotPowerOfTwo {
+        /// Which parameter.
+        which: &'static str,
+        /// Offending value.
+        value: u64,
+    },
+    /// Size, block and associativity are mutually inconsistent.
+    InconsistentShape {
+        /// Cache size in bytes.
+        size: u64,
+        /// Block size in bytes.
+        block: u64,
+        /// Associativity.
+        ways: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NotPowerOfTwo { which, value } => {
+                write!(f, "cache {which} must be a power of two, got {value}")
+            }
+            SimError::InconsistentShape { size, block, ways } => write!(
+                f,
+                "cache shape impossible: {size} B with {block} B blocks and {ways} ways"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_values() {
+        let e = SimError::InconsistentShape {
+            size: 1024,
+            block: 64,
+            ways: 64,
+        };
+        assert!(e.to_string().contains("1024"));
+    }
+}

@@ -1,0 +1,245 @@
+//! A two-level (L1 + L2) cache hierarchy with inclusive filtering.
+
+use crate::access::Access;
+use crate::cache::{CacheParams, CacheSim, CacheStats, Replacement};
+use serde::{Deserialize, Serialize};
+
+/// Hierarchy-level statistics.
+///
+/// `l1` covers every CPU reference; `l2` covers the *demand* stream only
+/// (L1 misses). L1 dirty-victim writebacks are serviced by L2 but excluded
+/// from the demand statistics, since the AMAT model prices demand misses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct HierarchyStats {
+    /// L1 statistics over all references.
+    pub l1: CacheStats,
+    /// L2 statistics over the demand stream (L1 misses).
+    pub l2: CacheStats,
+    /// L1 dirty victims written back into L2 (not part of `l2`).
+    pub l1_writebacks: u64,
+}
+
+impl HierarchyStats {
+    /// L1 miss rate over all references.
+    pub fn l1_miss_rate(&self) -> f64 {
+        self.l1.miss_rate()
+    }
+
+    /// Local L2 miss rate (misses per L2 demand probe).
+    pub fn l2_local_miss_rate(&self) -> f64 {
+        self.l2.miss_rate()
+    }
+
+    /// Global L2 miss rate (main-memory accesses per CPU reference).
+    pub fn l2_global_miss_rate(&self) -> f64 {
+        self.l1_miss_rate() * self.l2_local_miss_rate()
+    }
+}
+
+/// An L1 + L2 hierarchy.
+///
+/// ```
+/// use nm_archsim::{TwoLevel, CacheParams, Replacement, Access};
+///
+/// let mut h = TwoLevel::new(
+///     CacheParams::new(16 * 1024, 64, 4)?,
+///     CacheParams::new(1024 * 1024, 64, 8)?,
+///     Replacement::Lru,
+/// );
+/// for i in 0..1000u64 {
+///     h.access(Access::read(i * 64));
+/// }
+/// assert!(h.stats().l1_miss_rate() > 0.9); // pure cold streaming
+/// # Ok::<(), nm_archsim::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TwoLevel {
+    l1: CacheSim,
+    l2: CacheSim,
+    demand_l2: CacheStats,
+    l1_writebacks: u64,
+}
+
+impl TwoLevel {
+    /// Builds a cold hierarchy with a shared replacement policy.
+    pub fn new(l1: CacheParams, l2: CacheParams, policy: Replacement) -> Self {
+        TwoLevel {
+            l1: CacheSim::new(l1, policy),
+            l2: CacheSim::new(l2, policy),
+            demand_l2: CacheStats::default(),
+            l1_writebacks: 0,
+        }
+    }
+
+    /// L1 parameters.
+    pub fn l1_params(&self) -> CacheParams {
+        self.l1.params()
+    }
+
+    /// L2 parameters.
+    pub fn l2_params(&self) -> CacheParams {
+        self.l2.params()
+    }
+
+    /// Issues one CPU reference through the hierarchy.
+    ///
+    /// Returns `(l1_hit, l2_hit)`; `l2_hit` is `None` when L1 hit and the
+    /// reference never reached L2.
+    pub fn access(&mut self, access: Access) -> (bool, Option<bool>) {
+        let l1_out = self.l1.access(access);
+        if l1_out.is_hit() {
+            return (true, None);
+        }
+        if let crate::cache::Outcome::Miss {
+            victim_writeback: true,
+        } = l1_out
+        {
+            // The victim's address is unknown to the L1 model (tags only);
+            // write back to the same set region — L2 is large enough that
+            // this approximation does not disturb the demand stream.
+            self.l1_writebacks += 1;
+            self.l2.access(Access::write(access.addr));
+        }
+        let l2_out = self.l2.access(access);
+        self.demand_l2.accesses += 1;
+        if access.is_write() {
+            self.demand_l2.writes += 1;
+        }
+        if !l2_out.is_hit() {
+            self.demand_l2.misses += 1;
+        }
+        if matches!(
+            l2_out,
+            crate::cache::Outcome::Miss {
+                victim_writeback: true
+            }
+        ) {
+            self.demand_l2.writebacks += 1;
+        }
+        (false, Some(l2_out.is_hit()))
+    }
+
+    /// Runs a whole access iterator; returns references processed.
+    pub fn run<I: IntoIterator<Item = Access>>(&mut self, accesses: I) -> u64 {
+        let mut n = 0;
+        for a in accesses {
+            self.access(a);
+            n += 1;
+        }
+        n
+    }
+
+    /// Snapshot of the hierarchy statistics.
+    pub fn stats(&self) -> HierarchyStats {
+        HierarchyStats {
+            l1: self.l1.stats(),
+            l2: self.demand_l2,
+            l1_writebacks: self.l1_writebacks,
+        }
+    }
+
+    /// Clears statistics after warm-up, keeping contents.
+    pub fn reset_stats(&mut self) {
+        self.l1.reset_stats();
+        self.l2.reset_stats();
+        self.demand_l2 = CacheStats::default();
+        self.l1_writebacks = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hierarchy(l1: u64, l2: u64) -> TwoLevel {
+        TwoLevel::new(
+            CacheParams::new(l1, 64, 4).unwrap(),
+            CacheParams::new(l2, 64, 8).unwrap(),
+            Replacement::Lru,
+        )
+    }
+
+    #[test]
+    fn l1_hit_never_reaches_l2() {
+        let mut h = hierarchy(16 * 1024, 256 * 1024);
+        h.access(Access::read(0x40));
+        let (hit, l2) = h.access(Access::read(0x40));
+        assert!(hit);
+        assert_eq!(l2, None);
+        assert_eq!(h.stats().l2.accesses, 1); // only the initial miss
+    }
+
+    #[test]
+    fn l2_catches_l1_capacity_misses() {
+        let mut h = hierarchy(4 * 1024, 1024 * 1024);
+        // 64 KB working set: misses L1, fits L2.
+        let blocks = 64 * 1024 / 64;
+        for _round in 0..4 {
+            for b in 0..blocks {
+                h.access(Access::read(b * 64));
+            }
+        }
+        let s = h.stats();
+        assert!(s.l1_miss_rate() > 0.5, "l1 mr = {}", s.l1_miss_rate());
+        assert!(
+            s.l2_local_miss_rate() < 0.35,
+            "l2 local mr = {}",
+            s.l2_local_miss_rate()
+        );
+    }
+
+    #[test]
+    fn global_rate_is_product_of_locals() {
+        let mut h = hierarchy(4 * 1024, 64 * 1024);
+        for i in 0..20_000u64 {
+            h.access(Access::read((i * 2654435761) % (1 << 21)));
+        }
+        let s = h.stats();
+        let expected = s.l1_miss_rate() * s.l2_local_miss_rate();
+        assert!((s.l2_global_miss_rate() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bigger_l2_has_lower_local_miss_rate() {
+        let run = |l2_size: u64| {
+            let mut h = hierarchy(8 * 1024, l2_size);
+            for i in 0..200_000u64 {
+                // 1 MB working set with strided reuse.
+                h.access(Access::read((i.wrapping_mul(0x9e3779b9)) % (1 << 20)));
+            }
+            h.stats().l2_local_miss_rate()
+        };
+        let small = run(128 * 1024);
+        let big = run(1024 * 1024);
+        assert!(big < small, "big {big} ≥ small {small}");
+    }
+
+    #[test]
+    fn writebacks_counted_separately_from_demand() {
+        let mut h = hierarchy(4 * 1024, 256 * 1024);
+        // Write a large working set so L1 evicts dirty lines.
+        for round in 0..3u64 {
+            for b in 0..512u64 {
+                h.access(Access::write(b * 64 + round));
+            }
+        }
+        let s = h.stats();
+        assert!(s.l1_writebacks > 0);
+        // Demand accesses equal L1 misses exactly.
+        assert_eq!(s.l2.accesses, s.l1.misses);
+    }
+
+    #[test]
+    fn reset_stats_keeps_warm_contents() {
+        let mut h = hierarchy(16 * 1024, 256 * 1024);
+        for b in 0..64u64 {
+            h.access(Access::read(b * 64));
+        }
+        h.reset_stats();
+        for b in 0..64u64 {
+            h.access(Access::read(b * 64));
+        }
+        assert!(h.stats().l1_miss_rate() < 0.01);
+        assert_eq!(h.stats().l2.accesses, 0);
+    }
+}

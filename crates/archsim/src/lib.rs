@@ -1,0 +1,60 @@
+//! # nm-archsim — trace-driven multi-level cache simulation
+//!
+//! The paper (Section 5) uses "architectural simulations to gather cache
+//! access statistics for each L1 and L2 cache size combination", collected
+//! over SPEC2000, SPECWEB and TPC/C. This crate supplies that substrate:
+//!
+//! * [`cache::CacheSim`] — a set-associative cache with LRU/FIFO/random
+//!   replacement and write-back/write-allocate semantics,
+//! * [`hierarchy::TwoLevel`] — an L1 + L2 hierarchy with local and global
+//!   miss-rate accounting,
+//! * [`workload`] — synthetic trace generators standing in for the
+//!   benchmark suites (loop-locality "spec-like", Zipf-working-set
+//!   "tpcc-like", request-stream "web-like", and a pointer chaser),
+//! * [`missrates`] — sweeps of (L1 size × L2 size) producing the
+//!   miss-rate tables the optimisation studies consume.
+//!
+//! The downstream studies only need miss-rate tables whose *shape* matches
+//! the paper's observations — low, flat local L1 miss rates from 4 K to
+//! 64 K, and L2 miss rates that fall steeply with size before saturating —
+//! which these generators produce by construction (see `DESIGN.md`).
+//!
+//! ```
+//! use nm_archsim::cache::{CacheParams, CacheSim, Replacement};
+//! use nm_archsim::workload::{SpecLoops, Workload};
+//!
+//! let params = CacheParams::new(16 * 1024, 64, 4)?;
+//! let mut sim = CacheSim::new(params, Replacement::Lru);
+//! let mut gen = SpecLoops::default_suite(42);
+//! for _ in 0..10_000 {
+//!     sim.access(gen.next_access());
+//! }
+//! let stats = sim.stats();
+//! assert!(stats.accesses == 10_000);
+//! assert!(stats.miss_rate() < 0.5);
+//! # Ok::<(), nm_archsim::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod access;
+pub mod cache;
+pub mod decay;
+pub mod hierarchy;
+pub mod missrates;
+pub mod splitl1;
+pub mod stats;
+pub mod trace;
+pub mod workload;
+pub mod zipf;
+
+mod error;
+
+pub use access::{Access, AccessKind};
+pub use cache::{CacheParams, CacheSim, Replacement};
+pub use decay::{DecaySim, DecayStats};
+pub use error::SimError;
+pub use hierarchy::TwoLevel;
+pub use missrates::{MissRateTable, PairStats};
+pub use trace::{TraceError, TraceWorkload};

@@ -1,0 +1,256 @@
+//! Miss-rate tables over (L1 size × L2 size) combinations — the
+//! architectural statistics the paper's Section 5 optimisations consume.
+
+use crate::cache::{CacheParams, Replacement};
+use crate::hierarchy::TwoLevel;
+use crate::workload::{SuiteKind, Workload};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Steady-state statistics for one (L1, L2) size combination.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PairStats {
+    /// L1 miss rate over all CPU references.
+    pub l1_miss_rate: f64,
+    /// Local L2 miss rate over the demand stream.
+    pub l2_local_miss_rate: f64,
+    /// L1 writebacks per CPU reference.
+    pub l1_writeback_rate: f64,
+    /// Store fraction of the CPU reference stream.
+    pub write_fraction: f64,
+    /// References measured (after warm-up).
+    pub measured: u64,
+}
+
+impl PairStats {
+    /// Global miss rate: main-memory accesses per CPU reference.
+    pub fn global_miss_rate(&self) -> f64 {
+        self.l1_miss_rate * self.l2_local_miss_rate
+    }
+}
+
+/// Simulates one (L1, L2) pair against a workload: `warmup` references to
+/// populate the hierarchy, then `measure` references of statistics.
+pub fn simulate_pair(
+    l1: CacheParams,
+    l2: CacheParams,
+    workload: &mut (dyn Workload + Send),
+    warmup: u64,
+    measure: u64,
+) -> PairStats {
+    let mut h = TwoLevel::new(l1, l2, Replacement::Lru);
+    for _ in 0..warmup {
+        h.access(workload.next_access());
+    }
+    h.reset_stats();
+    for _ in 0..measure {
+        h.access(workload.next_access());
+    }
+    let s = h.stats();
+    PairStats {
+        l1_miss_rate: s.l1_miss_rate(),
+        l2_local_miss_rate: s.l2_local_miss_rate(),
+        l1_writeback_rate: if measure == 0 {
+            0.0
+        } else {
+            s.l1_writebacks as f64 / measure as f64
+        },
+        write_fraction: if s.l1.accesses == 0 {
+            0.0
+        } else {
+            s.l1.writes as f64 / s.l1.accesses as f64
+        },
+        measured: measure,
+    }
+}
+
+/// A table of [`PairStats`] keyed by `(l1_bytes, l2_bytes)`, averaged over
+/// a suite mix.
+///
+/// Built once per study and then queried by the optimisers; construction
+/// parallelises across size pairs with scoped threads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MissRateTable {
+    entries: BTreeMap<(u64, u64), PairStats>,
+    suites: Vec<String>,
+}
+
+impl MissRateTable {
+    /// Simulates every (L1, L2) size combination over every suite in
+    /// `suites`, averaging the resulting rates per pair.
+    ///
+    /// Block size is 64 B; L1 is 4-way, L2 8-way (paper-era defaults).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a size is not a legal [`CacheParams`] (power of two and
+    /// large enough for its associativity) — table construction is static
+    /// study configuration.
+    pub fn build(
+        l1_sizes: &[u64],
+        l2_sizes: &[u64],
+        suites: &[SuiteKind],
+        seed: u64,
+        warmup: u64,
+        measure: u64,
+    ) -> Self {
+        let pairs: Vec<(u64, u64)> = l1_sizes
+            .iter()
+            .flat_map(|&l1| l2_sizes.iter().map(move |&l2| (l1, l2)))
+            .collect();
+
+        let results: Vec<((u64, u64), PairStats)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = pairs
+                .iter()
+                .map(|&(l1, l2)| {
+                    scope.spawn(move || {
+                        let l1p = CacheParams::new(l1, 64, 4).expect("legal L1 size");
+                        let l2p = CacheParams::new(l2, 64, 8).expect("legal L2 size");
+                        let mut acc = PairStats {
+                            l1_miss_rate: 0.0,
+                            l2_local_miss_rate: 0.0,
+                            l1_writeback_rate: 0.0,
+                            write_fraction: 0.0,
+                            measured: 0,
+                        };
+                        for &suite in suites {
+                            let mut w = suite.build(seed);
+                            let s = simulate_pair(l1p, l2p, w.as_mut(), warmup, measure);
+                            acc.l1_miss_rate += s.l1_miss_rate;
+                            acc.l2_local_miss_rate += s.l2_local_miss_rate;
+                            acc.l1_writeback_rate += s.l1_writeback_rate;
+                            acc.write_fraction += s.write_fraction;
+                            acc.measured += s.measured;
+                        }
+                        let n = suites.len().max(1) as f64;
+                        acc.l1_miss_rate /= n;
+                        acc.l2_local_miss_rate /= n;
+                        acc.l1_writeback_rate /= n;
+                        acc.write_fraction /= n;
+                        ((l1, l2), acc)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("simulation threads do not panic"))
+                .collect()
+        });
+
+        MissRateTable {
+            entries: results.into_iter().collect(),
+            suites: suites.iter().map(|s| s.name().to_owned()).collect(),
+        }
+    }
+
+    /// Looks up the stats for an exact (L1, L2) byte-size pair.
+    pub fn get(&self, l1_bytes: u64, l2_bytes: u64) -> Option<&PairStats> {
+        self.entries.get(&(l1_bytes, l2_bytes))
+    }
+
+    /// Iterates all entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&(u64, u64), &PairStats)> {
+        self.entries.iter()
+    }
+
+    /// Names of the suites averaged into this table.
+    pub fn suites(&self) -> &[String] {
+        &self.suites
+    }
+
+    /// Number of (L1, L2) pairs in the table.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no pairs were simulated.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::SpecLoops;
+
+    #[test]
+    fn simulate_pair_reports_rates() {
+        let mut w = SpecLoops::default_suite(11);
+        let s = simulate_pair(
+            CacheParams::new(8 * 1024, 64, 4).unwrap(),
+            CacheParams::new(256 * 1024, 64, 8).unwrap(),
+            &mut w,
+            20_000,
+            50_000,
+        );
+        assert!(s.l1_miss_rate > 0.0 && s.l1_miss_rate < 0.3);
+        assert!(s.l2_local_miss_rate >= 0.0 && s.l2_local_miss_rate <= 1.0);
+        assert_eq!(s.measured, 50_000);
+        assert!(
+            (s.global_miss_rate() - s.l1_miss_rate * s.l2_local_miss_rate).abs() < 1e-15
+        );
+    }
+
+    #[test]
+    fn table_covers_all_pairs() {
+        let t = MissRateTable::build(
+            &[4 * 1024, 16 * 1024],
+            &[128 * 1024, 512 * 1024],
+            &[SuiteKind::Spec2000],
+            7,
+            5_000,
+            10_000,
+        );
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+        assert!(t.get(4 * 1024, 128 * 1024).is_some());
+        assert!(t.get(4 * 1024, 999).is_none());
+        assert_eq!(t.suites(), ["spec2000-like"]);
+    }
+
+    #[test]
+    fn l2_miss_rate_falls_with_l2_size() {
+        let t = MissRateTable::build(
+            &[16 * 1024],
+            &[128 * 1024, 512 * 1024, 2 * 1024 * 1024],
+            &[SuiteKind::TpcC],
+            13,
+            100_000,
+            150_000,
+        );
+        let m128 = t.get(16 * 1024, 128 * 1024).unwrap().l2_local_miss_rate;
+        let m2m = t.get(16 * 1024, 2 * 1024 * 1024).unwrap().l2_local_miss_rate;
+        assert!(m2m < m128, "2M {m2m} ≥ 128K {m128}");
+    }
+
+    #[test]
+    fn l1_miss_rate_monotone_in_l1_size() {
+        let t = MissRateTable::build(
+            &[4 * 1024, 64 * 1024],
+            &[512 * 1024],
+            &[SuiteKind::Spec2000, SuiteKind::SpecWeb],
+            17,
+            50_000,
+            80_000,
+        );
+        let m4 = t.get(4 * 1024, 512 * 1024).unwrap().l1_miss_rate;
+        let m64 = t.get(64 * 1024, 512 * 1024).unwrap().l1_miss_rate;
+        assert!(m64 <= m4, "64K {m64} > 4K {m4}");
+    }
+
+    #[test]
+    fn deterministic_tables() {
+        let build = || {
+            MissRateTable::build(
+                &[8 * 1024],
+                &[256 * 1024],
+                &[SuiteKind::SpecWeb],
+                3,
+                5_000,
+                10_000,
+            )
+        };
+        assert_eq!(build(), build());
+    }
+}

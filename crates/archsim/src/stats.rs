@@ -1,0 +1,115 @@
+//! Reference-stream statistics: working-set estimation.
+//!
+//! Used to audit the synthetic suites against the paper's assumptions
+//! (and available to users sizing caches for their own traces).
+
+use crate::access::Access;
+use crate::workload::Workload;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Footprint summary of a reference window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkingSet {
+    /// References observed.
+    pub references: u64,
+    /// Distinct blocks touched.
+    pub unique_blocks: u64,
+    /// Block size the estimate was taken at.
+    pub block_bytes: u64,
+}
+
+impl WorkingSet {
+    /// Footprint in bytes (`unique_blocks · block_bytes`).
+    pub fn bytes(&self) -> u64 {
+        self.unique_blocks * self.block_bytes
+    }
+}
+
+/// Measures the working set of the next `references` accesses of a
+/// workload at a given block granularity.
+///
+/// # Panics
+///
+/// Panics when `block_bytes` is not a power of two.
+///
+/// ```
+/// use nm_archsim::stats::working_set;
+/// use nm_archsim::workload::SuiteKind;
+///
+/// let mut w = SuiteKind::Spec2000.build(1);
+/// let ws = working_set(w.as_mut(), 50_000, 64);
+/// // The spec-like stream touches hundreds of KB (streamed arrays).
+/// assert!(ws.bytes() > 64 * 1024, "{} bytes", ws.bytes());
+/// ```
+pub fn working_set(
+    workload: &mut (dyn Workload + Send),
+    references: u64,
+    block_bytes: u64,
+) -> WorkingSet {
+    assert!(
+        block_bytes.is_power_of_two(),
+        "block size must be a power of two, got {block_bytes}"
+    );
+    let mut blocks: HashSet<u64> = HashSet::new();
+    for _ in 0..references {
+        let a: Access = workload.next_access();
+        blocks.insert(a.addr / block_bytes);
+    }
+    WorkingSet {
+        references,
+        unique_blocks: blocks.len() as u64,
+        block_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::SuiteKind;
+
+    #[test]
+    fn footprints_order_by_design() {
+        // TPC-C's record table (32 MB, Zipf) has a far larger footprint
+        // than the spec-like loops (1.5 MB of arrays), and the pointer
+        // chaser roams its whole 8 MB heap.
+        let ws = |kind: SuiteKind| {
+            let mut w = kind.build(3);
+            working_set(w.as_mut(), 200_000, 64).bytes()
+        };
+        let spec = ws(SuiteKind::Spec2000);
+        let tpcc = ws(SuiteKind::TpcC);
+        assert!(
+            tpcc > spec,
+            "tpcc {} KB ≤ spec {} KB",
+            tpcc / 1024,
+            spec / 1024
+        );
+    }
+
+    #[test]
+    fn working_set_grows_with_window() {
+        let mut w = SuiteKind::SpecWeb.build(5);
+        let small = working_set(w.as_mut(), 10_000, 64).unique_blocks;
+        let mut w = SuiteKind::SpecWeb.build(5);
+        let large = working_set(w.as_mut(), 100_000, 64).unique_blocks;
+        assert!(large >= small);
+    }
+
+    #[test]
+    fn block_size_coarsens_the_estimate() {
+        let mut a = SuiteKind::Spec2000.build(9);
+        let fine = working_set(a.as_mut(), 50_000, 64);
+        let mut b = SuiteKind::Spec2000.build(9);
+        let coarse = working_set(b.as_mut(), 50_000, 4096);
+        assert!(coarse.unique_blocks <= fine.unique_blocks);
+        assert_eq!(fine.references, 50_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn odd_block_size_panics() {
+        let mut w = SuiteKind::Spec2000.build(1);
+        let _ = working_set(w.as_mut(), 10, 100);
+    }
+}

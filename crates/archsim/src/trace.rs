@@ -1,0 +1,363 @@
+//! Reading, writing and replaying reference traces.
+//!
+//! The synthetic generators in [`crate::workload`] stand in for the
+//! paper's benchmark suites, but users with real traces (e.g. from a
+//! full-system simulator) can feed them through the same pipeline. The
+//! format is one reference per line, `R` or `W` followed by a hex or
+//! decimal byte address:
+//!
+//! ```text
+//! R 0x7fff0040
+//! W 0x1000
+//! R 4096
+//! ```
+//!
+//! Blank lines and lines starting with `#` are ignored.
+
+use crate::access::{Access, AccessKind};
+use crate::workload::Workload;
+use std::error::Error;
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// Errors from trace parsing.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o: {e}"),
+            TraceError::Parse { line, text } => {
+                write!(f, "trace line {line} is malformed: {text:?}")
+            }
+        }
+    }
+}
+
+impl Error for TraceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            TraceError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// Parses one trace line (without comment/blank filtering).
+fn parse_line(line: &str, number: usize) -> Result<Access, TraceError> {
+    let malformed = || TraceError::Parse {
+        line: number,
+        text: line.to_owned(),
+    };
+    let mut parts = line.split_whitespace();
+    let kind = match parts.next().ok_or_else(malformed)? {
+        "R" | "r" => AccessKind::Read,
+        "W" | "w" => AccessKind::Write,
+        _ => return Err(malformed()),
+    };
+    let addr_text = parts.next().ok_or_else(malformed)?;
+    if parts.next().is_some() {
+        return Err(malformed());
+    }
+    let addr = if let Some(hex) = addr_text
+        .strip_prefix("0x")
+        .or_else(|| addr_text.strip_prefix("0X"))
+    {
+        u64::from_str_radix(hex, 16).map_err(|_| malformed())?
+    } else {
+        addr_text.parse().map_err(|_| malformed())?
+    };
+    Ok(Access { addr, kind })
+}
+
+/// Reads a whole trace from any reader (note a `&mut R` also works, per
+/// the usual `Read` blanket impl).
+///
+/// # Errors
+///
+/// [`TraceError::Io`] on read failure, [`TraceError::Parse`] on a
+/// malformed line.
+pub fn read_trace<R: Read>(reader: R) -> Result<Vec<Access>, TraceError> {
+    let mut out = Vec::new();
+    for (i, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        out.push(parse_line(trimmed, i + 1)?);
+    }
+    Ok(out)
+}
+
+/// Writes a trace to any writer in the canonical hex format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_trace<W: Write, I: IntoIterator<Item = Access>>(
+    mut writer: W,
+    accesses: I,
+) -> io::Result<()> {
+    for a in accesses {
+        writeln!(writer, "{} {:#x}", a.kind, a.addr)?;
+    }
+    Ok(())
+}
+
+/// Magic bytes opening a binary trace file.
+pub const BINARY_MAGIC: [u8; 4] = *b"NMTR";
+
+/// Binary trace format version.
+pub const BINARY_VERSION: u8 = 1;
+
+/// Writes a trace in the compact binary format: the magic, a version
+/// byte, then 9 bytes per record (1 kind byte: `0` read / `1` write, then
+/// the address little-endian).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_trace_binary<W: Write, I: IntoIterator<Item = Access>>(
+    mut writer: W,
+    accesses: I,
+) -> io::Result<()> {
+    writer.write_all(&BINARY_MAGIC)?;
+    writer.write_all(&[BINARY_VERSION])?;
+    for a in accesses {
+        let kind = match a.kind {
+            AccessKind::Read => 0u8,
+            AccessKind::Write => 1u8,
+        };
+        writer.write_all(&[kind])?;
+        writer.write_all(&a.addr.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads a binary trace written by [`write_trace_binary`].
+///
+/// # Errors
+///
+/// [`TraceError::Io`] on read failure; [`TraceError::Parse`] on a bad
+/// magic, unsupported version, bad kind byte, or truncated record (the
+/// reported "line" is the 1-based record number, 0 for the header).
+pub fn read_trace_binary<R: Read>(mut reader: R) -> Result<Vec<Access>, TraceError> {
+    let bad = |record: usize, what: &str| TraceError::Parse {
+        line: record,
+        text: what.to_owned(),
+    };
+    let mut header = [0u8; 5];
+    reader
+        .read_exact(&mut header)
+        .map_err(|_| bad(0, "missing or truncated header"))?;
+    if header[..4] != BINARY_MAGIC {
+        return Err(bad(0, "bad magic (not an nmcache binary trace)"));
+    }
+    if header[4] != BINARY_VERSION {
+        return Err(bad(0, "unsupported binary trace version"));
+    }
+    let mut out = Vec::new();
+    let mut record = [0u8; 9];
+    let mut n = 0usize;
+    loop {
+        // Peek one byte to distinguish clean EOF from truncation.
+        let mut first = [0u8; 1];
+        match reader.read(&mut first) {
+            Ok(0) => return Ok(out),
+            Ok(_) => {}
+            Err(e) => return Err(TraceError::Io(e)),
+        }
+        n += 1;
+        record[0] = first[0];
+        reader
+            .read_exact(&mut record[1..])
+            .map_err(|_| bad(n, "truncated record"))?;
+        let kind = match record[0] {
+            0 => AccessKind::Read,
+            1 => AccessKind::Write,
+            _ => return Err(bad(n, "bad kind byte")),
+        };
+        let addr = u64::from_le_bytes(record[1..].try_into().expect("8 bytes"));
+        out.push(Access { addr, kind });
+    }
+}
+
+/// A [`Workload`] that replays a recorded trace, cycling when exhausted.
+#[derive(Debug, Clone)]
+pub struct TraceWorkload {
+    accesses: Vec<Access>,
+    position: usize,
+}
+
+impl TraceWorkload {
+    /// Wraps a recorded trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty trace — an endless generator needs at least one
+    /// reference.
+    pub fn new(accesses: Vec<Access>) -> Self {
+        assert!(!accesses.is_empty(), "trace must contain at least one access");
+        TraceWorkload {
+            accesses,
+            position: 0,
+        }
+    }
+
+    /// Number of recorded references.
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// Always `false` (construction rejects empty traces).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl Workload for TraceWorkload {
+    fn next_access(&mut self) -> Access {
+        let a = self.accesses[self.position];
+        self.position = (self.position + 1) % self.accesses.len();
+        a
+    }
+
+    fn name(&self) -> &'static str {
+        "trace-replay"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_trace() {
+        let trace = vec![
+            Access::read(0x1000),
+            Access::write(0x2040),
+            Access::read(64),
+        ];
+        let mut buf = Vec::new();
+        write_trace(&mut buf, trace.clone()).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn parses_hex_and_decimal_and_case() {
+        let text = "R 0x40\nw 0X80\nR 4096\n";
+        let t = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(t[0], Access::read(0x40));
+        assert_eq!(t[1], Access::write(0x80));
+        assert_eq!(t[2], Access::read(4096));
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let text = "# header\n\nR 0x40\n   \n# tail\nW 0x80\n";
+        let t = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn reports_malformed_line_numbers() {
+        let text = "R 0x40\nX 0x80\n";
+        match read_trace(text.as_bytes()) {
+            Err(TraceError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        assert!(read_trace("R\n".as_bytes()).is_err());
+        assert!(read_trace("R 0x40 extra\n".as_bytes()).is_err());
+        assert!(read_trace("R zz\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn replay_cycles() {
+        let mut w = TraceWorkload::new(vec![Access::read(1), Access::read(2)]);
+        assert_eq!(w.next_access().addr, 1);
+        assert_eq!(w.next_access().addr, 2);
+        assert_eq!(w.next_access().addr, 1);
+        assert_eq!(w.len(), 2);
+        assert!(!w.is_empty());
+        assert_eq!(w.name(), "trace-replay");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one access")]
+    fn empty_trace_rejected() {
+        let _ = TraceWorkload::new(vec![]);
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let trace = vec![
+            Access::read(0),
+            Access::write(u64::MAX),
+            Access::read(0xdead_beef),
+        ];
+        let mut buf = Vec::new();
+        write_trace_binary(&mut buf, trace.clone()).unwrap();
+        assert_eq!(buf.len(), 5 + 9 * trace.len());
+        let back = read_trace_binary(buf.as_slice()).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn binary_rejects_bad_headers_and_records() {
+        assert!(read_trace_binary(&b"XXXX\x01"[..]).is_err()); // bad magic
+        assert!(read_trace_binary(&b"NMTR\x09"[..]).is_err()); // bad version
+        assert!(read_trace_binary(&b"NMT"[..]).is_err()); // truncated header
+
+        let mut buf = Vec::new();
+        write_trace_binary(&mut buf, vec![Access::read(7)]).unwrap();
+        buf.truncate(buf.len() - 3); // truncate mid-record
+        match read_trace_binary(buf.as_slice()) {
+            Err(TraceError::Parse { line, .. }) => assert_eq!(line, 1),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+
+        let mut bad_kind = Vec::new();
+        write_trace_binary(&mut bad_kind, vec![Access::read(7)]).unwrap();
+        bad_kind[5] = 9; // corrupt the kind byte
+        assert!(read_trace_binary(bad_kind.as_slice()).is_err());
+    }
+
+    #[test]
+    fn empty_binary_trace_is_legal() {
+        let mut buf = Vec::new();
+        write_trace_binary(&mut buf, Vec::<Access>::new()).unwrap();
+        assert!(read_trace_binary(buf.as_slice()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn replay_feeds_simulator() {
+        use crate::cache::{CacheParams, CacheSim, Replacement};
+        let mut w = TraceWorkload::new(vec![Access::read(0), Access::read(0x40)]);
+        let mut sim = CacheSim::new(CacheParams::new(1024, 64, 2).unwrap(), Replacement::Lru);
+        for _ in 0..10 {
+            sim.access(w.next_access());
+        }
+        // Two compulsory misses then pure hits.
+        assert_eq!(sim.stats().misses, 2);
+    }
+}

@@ -1,0 +1,136 @@
+//! A deterministic Zipf-distributed sampler (CDF inversion).
+//!
+//! Database- and web-style reference streams are classically modelled as
+//! Zipfian over records/documents; the TPC-C- and SPECWEB-like generators
+//! in [`crate::workload`] build on this sampler.
+
+use rand::Rng;
+
+/// Samples ranks `0..n` with probability ∝ `1/(rank+1)^s`.
+///
+/// Construction precomputes the normalised CDF (`O(n)` memory); sampling
+/// is a binary search (`O(log n)`).
+///
+/// ```
+/// use nm_archsim::zipf::Zipf;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let z = Zipf::new(1000, 1.0);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let mut head = 0;
+/// for _ in 0..10_000 {
+///     if z.sample(&mut rng) < 10 {
+///         head += 1;
+///     }
+/// }
+/// // The top 1 % of ranks draws a large share of samples.
+/// assert!(head > 2000, "head = {head}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `s` is negative/non-finite — both are
+    /// static configuration errors.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "zipf exponent must be ≥ 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 0..n {
+            acc += 1.0 / ((rank + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for value in &mut cdf {
+            *value /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// `true` when the sampler has a single rank (never empty).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draws one rank in `0..len()`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("cdf entries are finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_s_is_zero() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((8000..12000).contains(&c), "counts = {counts:?}");
+        }
+    }
+
+    #[test]
+    fn rank_zero_most_popular() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[90]);
+    }
+
+    #[test]
+    fn samples_within_range() {
+        let z = Zipf::new(7, 0.8);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let z = Zipf::new(1000, 1.0);
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..10).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(9), draw(9));
+        assert_ne!(draw(9), draw(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! **E1 / Figure 1** — "Fixed Vth vs Fixed Tox": leakage power (mW) versus
+//! access time (ps) for a 16 KB cache, holding one knob fixed and sweeping
+//! the other.
+//!
+//! Paper shape to reproduce: leakage is more sensitive to `Tox` than
+//! `Vth` (the `Tox = 10 Å` curve floors far above `Tox = 14 Å`), while the
+//! delay range is wider when `Tox` is fixed and `Vth` sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nm_bench::emit_series;
+use nm_cache_core::single::SingleCacheStudy;
+use std::hint::black_box;
+
+fn generate() -> Vec<nm_cache_core::report::Series> {
+    let study = SingleCacheStudy::paper_16kb().expect("paper configuration is valid");
+    study.fixed_knob_curves()
+}
+
+fn bench(c: &mut Criterion) {
+    let series = generate();
+    emit_series(
+        "fig1_fixed_knobs",
+        "Figure 1: fixed Vth vs fixed Tox (16KB)",
+        "access time (ps)",
+        "leakage (mW)",
+        &series,
+    );
+
+    c.bench_function("fig1/fixed_knob_curves_16kb", |b| {
+        b.iter(|| black_box(generate()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

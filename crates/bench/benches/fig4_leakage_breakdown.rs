@@ -1,0 +1,72 @@
+//! **Figure 4 (ours)** — the paper's motivating claim as a curve: "with
+//! aggressive Tox scaling, gate leakage power can potentially surpass the
+//! subthreshold leakage at low Tox". We sweep `Tox` at two fixed `Vth`
+//! values on the 16 KB cache and plot the subthreshold and gate
+//! components separately, exposing the crossover.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nm_bench::emit_series;
+use nm_cache_core::report::Series;
+use nm_device::units::Volts;
+use nm_device::{KnobGrid, KnobPoint, TechnologyNode};
+use nm_geometry::{CacheCircuit, CacheConfig, ComponentKnobs};
+use std::hint::black_box;
+
+fn breakdown_series(circuit: &CacheCircuit, vth: f64) -> Vec<Series> {
+    let grid = KnobGrid::paper();
+    let mut sub = Series::new(format!("subthreshold @ Vth={vth:.1}V"));
+    let mut gate = Series::new(format!("gate @ Vth={vth:.1}V"));
+    for &tox in grid.tox_values() {
+        let p = KnobPoint::new(Volts(vth), tox).expect("grid values are legal");
+        let leak = circuit.analyze(&ComponentKnobs::uniform(p)).leakage();
+        sub.points.push((tox.0, leak.subthreshold.milli()));
+        gate.points.push((tox.0, leak.gate.milli()));
+    }
+    vec![sub, gate]
+}
+
+fn bench(c: &mut Criterion) {
+    let tech = TechnologyNode::bptm65();
+    let circuit = CacheCircuit::new(
+        CacheConfig::new(16 * 1024, 64, 4).expect("valid"),
+        &tech,
+    );
+
+    let mut series = breakdown_series(&circuit, 0.3);
+    series.extend(breakdown_series(&circuit, 0.45));
+    emit_series(
+        "fig4_leakage_breakdown",
+        "Leakage mechanism breakdown vs Tox (16KB)",
+        "Tox (A)",
+        "power (mW)",
+        &series,
+    );
+
+    // Report the crossover: the Tox below which gate beats subthreshold.
+    for vth in [0.3, 0.45] {
+        let pair = breakdown_series(&circuit, vth);
+        let cross = pair[0]
+            .points
+            .iter()
+            .zip(&pair[1].points)
+            .filter(|(s, g)| g.1 > s.1)
+            .map(|(s, _)| s.0)
+            .fold(f64::NEG_INFINITY, f64::max);
+        println!("[crossover] Vth = {vth:.2} V: gate > subthreshold up to Tox = {cross:.1} A");
+    }
+
+    c.bench_function("fig4/breakdown_two_vths", |b| {
+        b.iter(|| {
+            let mut s = breakdown_series(&circuit, 0.3);
+            s.extend(breakdown_series(&circuit, 0.45));
+            black_box(s)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

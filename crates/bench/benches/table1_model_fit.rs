@@ -1,0 +1,36 @@
+//! **E8 / Table 1** — fit quality of the paper's Eq. 1 (leakage) and
+//! Eq. 2 (delay) closed forms against the circuit model, per component of
+//! a 16 KB cache (the paper's Section 3 methodology check).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nm_bench::emit_table;
+use nm_cache_core::fitcheck::fit_report;
+use nm_device::{KnobGrid, TechnologyNode};
+use nm_geometry::{CacheCircuit, CacheConfig};
+use std::hint::black_box;
+
+fn circuit() -> CacheCircuit {
+    let tech = TechnologyNode::bptm65();
+    CacheCircuit::new(
+        CacheConfig::new(16 * 1024, 64, 4).expect("valid"),
+        &tech,
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let circ = circuit();
+    let grid = KnobGrid::paper();
+    let table = fit_report(&circ, &grid).expect("fits converge");
+    emit_table("table1_model_fit", &table);
+
+    c.bench_function("table1/fit_all_components_16kb", |b| {
+        b.iter(|| black_box(fit_report(&circ, &grid).expect("fits converge")))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Every bench target regenerates one figure or table of the paper: it
+//! prints the artefact to stdout, writes the CSV under
+//! `target/paper-artifacts/`, and then lets Criterion time the core
+//! computation kernel.
+
+use nm_cache_core::report::Series;
+use nm_cache_core::Table;
+use std::path::PathBuf;
+
+/// Directory the regenerated figure/table CSVs land in.
+pub fn artifact_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/paper-artifacts");
+    std::fs::create_dir_all(&dir).expect("can create artifact directory");
+    dir
+}
+
+/// Prints a table and persists it as CSV.
+pub fn emit_table(name: &str, table: &Table) {
+    println!("\n{table}");
+    let path = artifact_dir().join(format!("{name}.csv"));
+    table
+        .write_csv(&path)
+        .expect("can write artifact CSV");
+    println!("[artifact] {}", path.display());
+}
+
+/// Prints a set of series and persists them as one CSV.
+pub fn emit_series(name: &str, title: &str, x: &str, y: &str, series: &[Series]) {
+    for s in series {
+        println!("\n{s}");
+    }
+    let table = Series::to_table(series, title, x, y);
+    let path = artifact_dir().join(format!("{name}.csv"));
+    table
+        .write_csv(&path)
+        .expect("can write artifact CSV");
+    println!("[artifact] {}", path.display());
+}

@@ -1,0 +1,79 @@
+use nm_device::DeviceError;
+use nm_geometry::GeometryError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while configuring or running a study.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StudyError {
+    /// A device-model error (bad knob value, degenerate grid, failed fit).
+    Device(DeviceError),
+    /// A cache-geometry error (impossible organisation).
+    Geometry(GeometryError),
+    /// A study referenced an (L1, L2) size pair missing from the miss-rate
+    /// table.
+    MissingMissRates {
+        /// L1 size in bytes.
+        l1_bytes: u64,
+        /// L2 size in bytes.
+        l2_bytes: u64,
+    },
+}
+
+impl fmt::Display for StudyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StudyError::Device(e) => write!(f, "device model: {e}"),
+            StudyError::Geometry(e) => write!(f, "cache geometry: {e}"),
+            StudyError::MissingMissRates { l1_bytes, l2_bytes } => write!(
+                f,
+                "miss-rate table has no entry for L1 {l1_bytes} B / L2 {l2_bytes} B"
+            ),
+        }
+    }
+}
+
+impl Error for StudyError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StudyError::Device(e) => Some(e),
+            StudyError::Geometry(e) => Some(e),
+            StudyError::MissingMissRates { .. } => None,
+        }
+    }
+}
+
+impl From<DeviceError> for StudyError {
+    fn from(e: DeviceError) -> Self {
+        StudyError::Device(e)
+    }
+}
+
+impl From<GeometryError> for StudyError {
+    fn from(e: GeometryError) -> Self {
+        StudyError::Geometry(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_sources() {
+        let e: StudyError = DeviceError::SingularSystem.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("device model"));
+    }
+
+    #[test]
+    fn missing_missrates_message() {
+        let e = StudyError::MissingMissRates {
+            l1_bytes: 4096,
+            l2_bytes: 1 << 20,
+        };
+        assert!(e.to_string().contains("4096"));
+        assert!(e.source().is_none());
+    }
+}

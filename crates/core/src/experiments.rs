@@ -1,0 +1,181 @@
+//! The experiment registry: a machine-readable index of every reproduced
+//! artefact (the programmatic counterpart of `DESIGN.md`'s table).
+
+use crate::report::Table;
+use serde::{Deserialize, Serialize};
+
+/// One reproducible artefact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Experiment {
+    /// Short id (`"E1"`, `"X3"`, …).
+    pub id: &'static str,
+    /// The paper artefact or extension it regenerates.
+    pub artefact: &'static str,
+    /// One-line description.
+    pub title: &'static str,
+    /// The bench target that regenerates it (`cargo bench --bench …`).
+    pub bench: &'static str,
+    /// The `nmcache` CLI subcommand covering it, if any.
+    pub cli: Option<&'static str>,
+}
+
+/// Every experiment, in the order of `DESIGN.md`'s index.
+pub const ALL: [Experiment; 14] = [
+    Experiment {
+        id: "E1",
+        artefact: "Figure 1",
+        title: "fixed-Vth vs fixed-Tox leakage/access-time curves (16 KB)",
+        bench: "fig1_fixed_knobs",
+        cli: Some("fig1"),
+    },
+    Experiment {
+        id: "E2",
+        artefact: "Section 4",
+        title: "assignment schemes I/II/III at iso-delay",
+        bench: "table2_schemes",
+        cli: Some("schemes"),
+    },
+    Experiment {
+        id: "E3",
+        artefact: "Section 5",
+        title: "L2 size sweep with a single knob pair at iso-AMAT",
+        bench: "table3_l2_size",
+        cli: Some("l2-sweep"),
+    },
+    Experiment {
+        id: "E4",
+        artefact: "Section 5",
+        title: "L2 split cell/periphery pairs move the winner smaller",
+        bench: "table4_l2_split",
+        cli: Some("l2-sweep --scheme split"),
+    },
+    Experiment {
+        id: "E5",
+        artefact: "Section 5",
+        title: "L1 size sweep with fixed L2 (small L1 wins)",
+        bench: "table5_l1_size",
+        cli: Some("l1-sweep"),
+    },
+    Experiment {
+        id: "E6",
+        artefact: "Figure 2",
+        title: "(Tox, Vth) tuple problem: energy vs AMAT",
+        bench: "fig2_tuples",
+        cli: Some("fig2"),
+    },
+    Experiment {
+        id: "E7",
+        artefact: "Section 4",
+        title: "single-knob ablation ('Vth is the better knob')",
+        bench: "table6_knob_ablation",
+        cli: Some("ablation"),
+    },
+    Experiment {
+        id: "E8",
+        artefact: "Section 3",
+        title: "Eq.1/Eq.2 surface-fit quality per component",
+        bench: "table1_model_fit",
+        cli: Some("fit"),
+    },
+    Experiment {
+        id: "X1",
+        artefact: "extension",
+        title: "die-to-die variation on the Scheme II optimum",
+        bench: "table7_variation",
+        cli: Some("variation"),
+    },
+    Experiment {
+        id: "X2",
+        artefact: "extension",
+        title: "temperature sensitivity (25/80/110 °C)",
+        bench: "table8_temperature",
+        cli: Some("thermal"),
+    },
+    Experiment {
+        id: "X3",
+        artefact: "extension",
+        title: "process knobs vs cache decay (gated-Vdd)",
+        bench: "table9_decay",
+        cli: Some("decay"),
+    },
+    Experiment {
+        id: "X4",
+        artefact: "extension",
+        title: "split I$/D$ vs unified L1 at iso mean access time",
+        bench: "table10_split_l1",
+        cli: Some("split-l1"),
+    },
+    Experiment {
+        id: "T0",
+        artefact: "audit",
+        title: "workload substitution audit (miss-rate shapes)",
+        bench: "table0_workload_validation",
+        cli: Some("missrates"),
+    },
+    Experiment {
+        id: "T11",
+        artefact: "ablation",
+        title: "calibration ablation of κ/Bg/λ",
+        bench: "table11_calibration_ablation",
+        cli: None,
+    },
+];
+
+/// Looks an experiment up by id (case-insensitive).
+pub fn find(id: &str) -> Option<&'static Experiment> {
+    ALL.iter().find(|e| e.id.eq_ignore_ascii_case(id))
+}
+
+/// Renders the registry as a table.
+pub fn registry_table() -> Table {
+    let mut t = Table::new(
+        "Experiment registry (see DESIGN.md / EXPERIMENTS.md)",
+        &["id", "artefact", "title", "bench", "cli"],
+    );
+    for e in &ALL {
+        t.push_row(vec![
+            e.id.to_owned(),
+            e.artefact.to_owned(),
+            e.title.to_owned(),
+            e.bench.to_owned(),
+            e.cli.unwrap_or("-").to_owned(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique() {
+        let mut ids: Vec<&str> = ALL.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), ALL.len());
+    }
+
+    #[test]
+    fn find_is_case_insensitive() {
+        assert_eq!(find("e1").unwrap().bench, "fig1_fixed_knobs");
+        assert_eq!(find("X3").unwrap().cli, Some("decay"));
+        assert!(find("E99").is_none());
+    }
+
+    #[test]
+    fn every_bench_target_exists_on_disk() {
+        // Registry entries must point at real bench files.
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../bench/benches");
+        for e in &ALL {
+            let path = dir.join(format!("{}.rs", e.bench));
+            assert!(path.exists(), "{}: missing {}", e.id, path.display());
+        }
+    }
+
+    #[test]
+    fn registry_table_has_all_rows() {
+        assert_eq!(registry_table().len(), ALL.len());
+    }
+}

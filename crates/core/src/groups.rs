@@ -1,0 +1,307 @@
+//! Bridging the circuit model to the optimiser: assignment schemes and
+//! candidate-group construction.
+
+use nm_device::{KnobGrid, KnobPoint};
+use nm_geometry::{CacheCircuit, ComponentId, ComponentKnobs, COMPONENT_IDS};
+use nm_opt::{Candidate, Group};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The paper's three `Vth`/`Tox` assignment schemes (Section 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scheme {
+    /// Scheme I: independent pairs for each of the four components.
+    PerComponent,
+    /// Scheme II: one pair for the memory cell array, one for the three
+    /// peripheral components.
+    Split,
+    /// Scheme III: a single pair for the whole cache.
+    Uniform,
+}
+
+impl Scheme {
+    /// All schemes, in paper order.
+    pub const ALL: [Scheme; 3] = [Scheme::PerComponent, Scheme::Split, Scheme::Uniform];
+
+    /// Paper name ("I", "II", "III").
+    pub fn numeral(self) -> &'static str {
+        match self {
+            Scheme::PerComponent => "I",
+            Scheme::Split => "II",
+            Scheme::Uniform => "III",
+        }
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scheme {}", self.numeral())
+    }
+}
+
+/// What a candidate's `cost` field measures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CostKind {
+    /// Standby leakage power, watts (Sections 4–5 leakage studies).
+    LeakagePower,
+    /// Per-access energy, joules: `leakage · t_ref + access_rate ·
+    /// dynamic` (the Figure 2 total-energy study), with the dynamic term
+    /// mixing read and write energy by the stream's store fraction.
+    Energy {
+        /// Reference interval the leakage is integrated over (the AMAT
+        /// target), seconds.
+        t_ref: f64,
+        /// Accesses reaching this cache per CPU reference (1 for L1, the
+        /// L1 miss rate plus writeback rate for L2).
+        access_rate: f64,
+        /// Store fraction of the accesses reaching this cache.
+        write_fraction: f64,
+    },
+}
+
+/// Evaluates one component of a circuit over the whole grid as an
+/// optimiser group.
+///
+/// `delay_weight` scales the component's delay contribution in the system
+/// objective (1 for an L1 component, the L1 miss rate for an L2 component
+/// in an AMAT study).
+pub fn component_group(
+    circuit: &CacheCircuit,
+    id: ComponentId,
+    grid: &KnobGrid,
+    delay_weight: f64,
+    cost: CostKind,
+) -> Group {
+    let candidates: Vec<Candidate> = grid
+        .points()
+        .map(|p| make_candidate(circuit, &[id], p, delay_weight, cost))
+        .collect();
+    Group::new(format!("{}:{id}", circuit.config()), candidates)
+}
+
+/// Evaluates a *tied* set of components (sharing one knob pair) over the
+/// grid as a single group.
+pub fn tied_group(
+    circuit: &CacheCircuit,
+    ids: &[ComponentId],
+    name: &str,
+    grid: &KnobGrid,
+    delay_weight: f64,
+    cost: CostKind,
+) -> Group {
+    let candidates: Vec<Candidate> = grid
+        .points()
+        .map(|p| make_candidate(circuit, ids, p, delay_weight, cost))
+        .collect();
+    Group::new(format!("{}:{name}", circuit.config()), candidates)
+}
+
+fn make_candidate(
+    circuit: &CacheCircuit,
+    ids: &[ComponentId],
+    p: KnobPoint,
+    delay_weight: f64,
+    cost: CostKind,
+) -> Candidate {
+    let mut delay = 0.0;
+    let mut leak = 0.0;
+    let mut read_energy = 0.0;
+    let mut write_energy = 0.0;
+    for &id in ids {
+        let m = circuit.analyze_component(id, p);
+        delay += m.delay.0;
+        leak += m.leakage.total().0;
+        read_energy += m.read_energy.0;
+        write_energy += m.write_energy.0;
+    }
+    let cost_value = match cost {
+        CostKind::LeakagePower => leak,
+        CostKind::Energy {
+            t_ref,
+            access_rate,
+            write_fraction,
+        } => {
+            let dynamic = (1.0 - write_fraction) * read_energy + write_fraction * write_energy;
+            leak * t_ref + access_rate * dynamic
+        }
+    };
+    Candidate::new(p, delay_weight * delay, cost_value)
+}
+
+/// Builds the optimiser groups for one cache under a scheme.
+///
+/// Group order (used to reconstruct [`ComponentKnobs`] from a front
+/// point's choice):
+///
+/// * Scheme I — the four components in [`COMPONENT_IDS`] order;
+/// * Scheme II — `[memory array, periphery]`;
+/// * Scheme III — a single all-components group.
+pub fn cache_groups(
+    circuit: &CacheCircuit,
+    scheme: Scheme,
+    grid: &KnobGrid,
+    delay_weight: f64,
+    cost: CostKind,
+) -> Vec<Group> {
+    match scheme {
+        Scheme::PerComponent => COMPONENT_IDS
+            .iter()
+            .map(|&id| component_group(circuit, id, grid, delay_weight, cost))
+            .collect(),
+        Scheme::Split => {
+            let periphery: Vec<ComponentId> = COMPONENT_IDS
+                .into_iter()
+                .filter(|id| id.is_peripheral())
+                .collect();
+            vec![
+                component_group(circuit, ComponentId::MemoryArray, grid, delay_weight, cost),
+                tied_group(circuit, &periphery, "periphery", grid, delay_weight, cost),
+            ]
+        }
+        Scheme::Uniform => vec![tied_group(
+            circuit,
+            &COMPONENT_IDS,
+            "uniform",
+            grid,
+            delay_weight,
+            cost,
+        )],
+    }
+}
+
+/// Reconstructs a full [`ComponentKnobs`] from the per-group knob choice
+/// of a front point produced over [`cache_groups`] output.
+///
+/// # Panics
+///
+/// Panics when the choice length does not match the scheme's group count.
+pub fn knobs_from_choice(scheme: Scheme, choice: &[KnobPoint]) -> ComponentKnobs {
+    match scheme {
+        Scheme::PerComponent => {
+            assert_eq!(choice.len(), 4, "scheme I has four groups");
+            ComponentKnobs::per_component(choice[0], choice[1], choice[2], choice[3])
+        }
+        Scheme::Split => {
+            assert_eq!(choice.len(), 2, "scheme II has two groups");
+            ComponentKnobs::split(choice[0], choice[1])
+        }
+        Scheme::Uniform => {
+            assert_eq!(choice.len(), 1, "scheme III has one group");
+            ComponentKnobs::uniform(choice[0])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nm_device::TechnologyNode;
+    use nm_geometry::CacheConfig;
+
+    fn circuit() -> CacheCircuit {
+        let tech = TechnologyNode::bptm65();
+        CacheCircuit::new(CacheConfig::new(16 * 1024, 64, 4).unwrap(), &tech)
+    }
+
+    #[test]
+    fn group_counts_per_scheme() {
+        let c = circuit();
+        let grid = KnobGrid::coarse();
+        assert_eq!(
+            cache_groups(&c, Scheme::PerComponent, &grid, 1.0, CostKind::LeakagePower).len(),
+            4
+        );
+        assert_eq!(
+            cache_groups(&c, Scheme::Split, &grid, 1.0, CostKind::LeakagePower).len(),
+            2
+        );
+        assert_eq!(
+            cache_groups(&c, Scheme::Uniform, &grid, 1.0, CostKind::LeakagePower).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn candidates_match_direct_analysis() {
+        let c = circuit();
+        let grid = KnobGrid::coarse();
+        let g = component_group(&c, ComponentId::Decoder, &grid, 1.0, CostKind::LeakagePower);
+        for cand in g.candidates() {
+            let m = c.analyze_component(ComponentId::Decoder, cand.knobs);
+            assert!((cand.delay - m.delay.0).abs() < 1e-18);
+            assert!((cand.cost - m.leakage.total().0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn tied_group_sums_components() {
+        let c = circuit();
+        let grid = KnobGrid::coarse();
+        let g = tied_group(&c, &COMPONENT_IDS, "all", &grid, 1.0, CostKind::LeakagePower);
+        let p = KnobPoint::nominal();
+        let cand = g
+            .candidates()
+            .iter()
+            .find(|cand| cand.knobs == grid.snap(p))
+            .expect("nominal snaps to grid");
+        let m = c.analyze(&ComponentKnobs::uniform(grid.snap(p)));
+        assert!((cand.delay - m.access_time().0).abs() < 1e-15);
+        assert!((cand.cost - m.leakage().total().0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_weight_scales_delay_only() {
+        let c = circuit();
+        let grid = KnobGrid::coarse();
+        let g1 = component_group(&c, ComponentId::DataBus, &grid, 1.0, CostKind::LeakagePower);
+        let g2 = component_group(&c, ComponentId::DataBus, &grid, 0.05, CostKind::LeakagePower);
+        for (a, b) in g1.candidates().iter().zip(g2.candidates()) {
+            assert!((b.delay - 0.05 * a.delay).abs() < 1e-18);
+            assert_eq!(a.cost, b.cost);
+        }
+    }
+
+    #[test]
+    fn energy_cost_combines_leakage_and_dynamic() {
+        let c = circuit();
+        let grid = KnobGrid::coarse();
+        let t_ref = 1.5e-9;
+        let g = component_group(
+            &c,
+            ComponentId::MemoryArray,
+            &grid,
+            1.0,
+            CostKind::Energy {
+                t_ref,
+                access_rate: 1.0,
+                write_fraction: 0.25,
+            },
+        );
+        for cand in g.candidates() {
+            let m = c.analyze_component(ComponentId::MemoryArray, cand.knobs);
+            let dynamic = 0.75 * m.read_energy.0 + 0.25 * m.write_energy.0;
+            let expected = m.leakage.total().0 * t_ref + dynamic;
+            assert!((cand.cost - expected).abs() < 1e-18);
+        }
+    }
+
+    #[test]
+    fn knobs_roundtrip_per_scheme() {
+        let a = KnobPoint::fastest();
+        let b = KnobPoint::lowest_leakage();
+        let knobs = knobs_from_choice(Scheme::Split, &[b, a]);
+        assert_eq!(knobs[ComponentId::MemoryArray], b);
+        assert_eq!(knobs[ComponentId::AddressBus], a);
+        let u = knobs_from_choice(Scheme::Uniform, &[a]);
+        assert_eq!(u[ComponentId::Decoder], a);
+        let pc = knobs_from_choice(Scheme::PerComponent, &[a, b, a, b]);
+        assert_eq!(pc[ComponentId::Decoder], b);
+    }
+
+    #[test]
+    fn scheme_display() {
+        assert_eq!(Scheme::PerComponent.to_string(), "scheme I");
+        assert_eq!(Scheme::Split.numeral(), "II");
+        assert_eq!(Scheme::Uniform.numeral(), "III");
+    }
+}

@@ -1,0 +1,189 @@
+//! Drive-strength and capacitance models: the delay side of the trade-off.
+//!
+//! Saturation current follows the alpha-power law
+//! `Ion = k·(W/L)·Cox·(Vdd − Vth)^α`; the switching resistance adds a
+//! near-threshold degradation term so that delay grows super-linearly as
+//! `Vth` approaches `Vdd` — this is what makes `Vth` the wide-range delay
+//! knob and `Tox` (whose effect on `Cox`, and through the drawn-length rule
+//! on `W/L`, is roughly linear over the legal 10–14 Å window) the narrow
+//! one, exactly the asymmetry of the paper's Figure 1.
+
+use crate::knobs::KnobPoint;
+use crate::tech::TechnologyNode;
+use crate::transistor::MosfetKind;
+use crate::units::{Amperes, Farads, Meters, Microns, Ohms};
+
+/// Saturation drive current of an on transistor.
+///
+/// # Panics
+///
+/// Does not panic for legal [`KnobPoint`]s: `Vdd − Vth` stays positive
+/// because the knob range tops out at 0.5 V on a 1 V supply.
+pub fn on_current(
+    tech: &TechnologyNode,
+    knobs: KnobPoint,
+    width: Microns,
+    length: Meters,
+    kind: MosfetKind,
+) -> Amperes {
+    let overdrive = tech.vdd().0 - knobs.vth().0;
+    debug_assert!(overdrive > 0.0, "legal knobs keep Vdd − Vth positive");
+    let cox = tech.cox(knobs.tox());
+    let w_over_l = width.meters().0 / length.0;
+    let kind_factor = match kind {
+        MosfetKind::Nmos => 1.0,
+        MosfetKind::Pmos => tech.pmos_drive_ratio(),
+    };
+    Amperes(tech.k_drive() * kind_factor * w_over_l * cox * overdrive.powf(tech.alpha()))
+}
+
+/// Effective switching resistance used in Elmore/RC delay estimates.
+///
+/// `Reff = 0.7·Vdd/Ion · 1/(1 − λ·Vth/Vdd)` — the first factor is the
+/// classic average-current approximation, the second captures the slowed
+/// input slope and reduced gain near threshold (λ =
+/// [`TechnologyNode::near_vth_slowdown`]).
+pub fn effective_resistance(
+    tech: &TechnologyNode,
+    knobs: KnobPoint,
+    width: Microns,
+    length: Meters,
+    kind: MosfetKind,
+) -> Ohms {
+    let ion = on_current(tech, knobs, width, length, kind);
+    let base = 0.7 * tech.vdd().0 / ion.0;
+    let near_vth = 1.0 / (1.0 - tech.near_vth_slowdown() * knobs.vth().0 / tech.vdd().0);
+    Ohms(base * near_vth)
+}
+
+/// Total gate capacitance: oxide plate capacitance plus fringe.
+pub fn gate_capacitance(
+    tech: &TechnologyNode,
+    knobs: KnobPoint,
+    width: Microns,
+    length: Meters,
+) -> Farads {
+    let cox = tech.cox(knobs.tox());
+    let plate = cox * width.meters().0 * length.0;
+    let fringe = tech.cfringe_per_width() * width.meters().0;
+    Farads(plate + fringe)
+}
+
+/// Drain junction capacitance (per device, proportional to width).
+pub fn drain_capacitance(tech: &TechnologyNode, width: Microns) -> Farads {
+    Farads(tech.cjunction_per_width() * width.meters().0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{Angstroms, Volts};
+
+    fn tech() -> TechnologyNode {
+        TechnologyNode::bptm65()
+    }
+
+    fn knobs(vth: f64, tox: f64) -> KnobPoint {
+        KnobPoint::new(Volts(vth), Angstroms(tox)).unwrap()
+    }
+
+    #[test]
+    fn nominal_drive_near_700ua_per_um() {
+        let t = tech();
+        let k = knobs(0.30, 12.0);
+        let i = on_current(&t, k, Microns(1.0), t.drawn_length(k.tox()), MosfetKind::Nmos);
+        assert!(
+            (400.0..1000.0).contains(&i.micro()),
+            "Ion = {} µA/µm",
+            i.micro()
+        );
+    }
+
+    #[test]
+    fn pmos_is_weaker() {
+        let t = tech();
+        let k = knobs(0.30, 12.0);
+        let l = t.drawn_length(k.tox());
+        let n = on_current(&t, k, Microns(1.0), l, MosfetKind::Nmos).0;
+        let p = on_current(&t, k, Microns(1.0), l, MosfetKind::Pmos).0;
+        assert!((p / n - t.pmos_drive_ratio()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resistance_grows_with_vth() {
+        let t = tech();
+        let l = t.drawn_length(Angstroms(12.0));
+        let r_lo = effective_resistance(&t, knobs(0.20, 12.0), Microns(1.0), l, MosfetKind::Nmos);
+        let r_hi = effective_resistance(&t, knobs(0.50, 12.0), Microns(1.0), l, MosfetKind::Nmos);
+        assert!(r_hi.0 > r_lo.0);
+        // The Vth knob must span a wider relative delay range than the Tox
+        // knob (the paper's Figure 1 asymmetry).
+        let r_thin = effective_resistance(&t, knobs(0.30, 10.0), Microns(1.0), t.drawn_length(Angstroms(10.0)), MosfetKind::Nmos);
+        let r_thick = effective_resistance(&t, knobs(0.30, 14.0), Microns(1.0), t.drawn_length(Angstroms(14.0)), MosfetKind::Nmos);
+        let vth_span = r_hi.0 / r_lo.0;
+        let tox_span = r_thick.0 / r_thin.0;
+        assert!(
+            vth_span > tox_span,
+            "vth span {vth_span:.2} ≤ tox span {tox_span:.2}"
+        );
+    }
+
+    #[test]
+    fn resistance_roughly_linear_in_tox() {
+        // Check the ratio R(12)/R(10) ≈ R(14)/R(12) within 15 % — i.e. the
+        // Tox dependence is smooth and near power-law/linear over the range.
+        let t = tech();
+        let r = |tox: f64| {
+            effective_resistance(
+                &t,
+                knobs(0.30, tox),
+                Microns(1.0),
+                t.drawn_length(Angstroms(tox)),
+                MosfetKind::Nmos,
+            )
+            .0
+        };
+        let g1 = r(12.0) / r(10.0);
+        let g2 = r(14.0) / r(12.0);
+        assert!((g1 / g2 - 1.0).abs() < 0.15, "g1 = {g1}, g2 = {g2}");
+    }
+
+    #[test]
+    fn gate_cap_scale() {
+        let t = tech();
+        let k = knobs(0.3, 12.0);
+        let c = gate_capacitance(&t, k, Microns(1.0), t.drawn_length(k.tox()));
+        assert!(
+            (1.0..4.0).contains(&c.femtos()),
+            "Cg = {} fF/µm",
+            c.femtos()
+        );
+        // Thicker oxide → smaller plate capacitance at equal geometry.
+        let thin = gate_capacitance(&t, knobs(0.3, 10.0), Microns(1.0), Meters(65e-9));
+        let thick = gate_capacitance(&t, knobs(0.3, 14.0), Microns(1.0), Meters(65e-9));
+        assert!(thin.0 > thick.0);
+    }
+
+    #[test]
+    fn drain_cap_proportional_to_width() {
+        let t = tech();
+        let c1 = drain_capacitance(&t, Microns(1.0)).0;
+        let c3 = drain_capacitance(&t, Microns(3.0)).0;
+        assert!((c3 / c1 - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn an_inverter_rc_is_picoseconds() {
+        let t = tech();
+        let k = KnobPoint::nominal();
+        let l = t.drawn_length(k.tox());
+        let r = effective_resistance(&t, k, Microns(1.0), l, MosfetKind::Nmos);
+        let c = gate_capacitance(&t, k, Microns(4.0), l); // FO4-ish load
+        let tau = r * c;
+        assert!(
+            (1.0..100.0).contains(&tau.picos()),
+            "τ = {} ps",
+            tau.picos()
+        );
+    }
+}

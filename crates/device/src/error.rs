@@ -1,0 +1,95 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or evaluating device models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DeviceError {
+    /// A threshold voltage was outside the technology's legal range.
+    VthOutOfRange {
+        /// The offending value in volts.
+        value: f64,
+        /// Legal minimum in volts.
+        min: f64,
+        /// Legal maximum in volts.
+        max: f64,
+    },
+    /// A gate-oxide thickness was outside the technology's legal range.
+    ToxOutOfRange {
+        /// The offending value in ångströms.
+        value: f64,
+        /// Legal minimum in ångströms.
+        min: f64,
+        /// Legal maximum in ångströms.
+        max: f64,
+    },
+    /// A transistor dimension was not strictly positive.
+    NonPositiveDimension {
+        /// Name of the dimension ("width" or "length").
+        which: &'static str,
+        /// The offending value in metres.
+        value: f64,
+    },
+    /// A grid was requested with fewer than two points on an axis.
+    DegenerateGrid {
+        /// Name of the degenerate axis.
+        axis: &'static str,
+    },
+    /// A surface fit was requested with insufficient samples.
+    TooFewSamples {
+        /// Samples provided.
+        got: usize,
+        /// Minimum required.
+        need: usize,
+    },
+    /// A linear system was singular or ill-conditioned.
+    SingularSystem,
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::VthOutOfRange { value, min, max } => {
+                write!(f, "threshold voltage {value} V outside [{min}, {max}] V")
+            }
+            DeviceError::ToxOutOfRange { value, min, max } => {
+                write!(f, "oxide thickness {value} Å outside [{min}, {max}] Å")
+            }
+            DeviceError::NonPositiveDimension { which, value } => {
+                write!(f, "transistor {which} must be positive, got {value} m")
+            }
+            DeviceError::DegenerateGrid { axis } => {
+                write!(f, "knob grid needs at least two points on the {axis} axis")
+            }
+            DeviceError::TooFewSamples { got, need } => {
+                write!(f, "surface fit needs at least {need} samples, got {got}")
+            }
+            DeviceError::SingularSystem => write!(f, "linear system is singular"),
+        }
+    }
+}
+
+impl Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = DeviceError::VthOutOfRange {
+            value: 0.6,
+            min: 0.2,
+            max: 0.5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("0.6"));
+        assert!(s.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DeviceError>();
+    }
+}

@@ -1,0 +1,72 @@
+//! Geometric consequences of the `Tox` knob.
+//!
+//! The paper (Section 2): increasing `Tox` at constant drawn length would
+//! surrender gate control of the channel (DIBL), so the drawn channel
+//! length must scale up with `Tox`; and to keep the memory cell stable the
+//! cell transistor *widths* must scale with the new lengths too. The cell
+//! therefore grows in both dimensions and its area quadratically.
+//!
+//! [`TechnologyNode::drawn_length`] implements the length rule; this module
+//! packages the area consequences used by the geometry crate.
+
+use crate::tech::TechnologyNode;
+use crate::units::{Angstroms, SquareMicrons};
+
+/// Area of a structure after `Tox`-driven scaling.
+///
+/// `base` is the structure's area at minimum `Tox`; the result grows with
+/// the square of the linear cell-scale factor.
+///
+/// ```
+/// use nm_device::{TechnologyNode, units::{Angstroms, SquareMicrons}};
+/// use nm_device::scaling::scaled_area;
+///
+/// let tech = TechnologyNode::bptm65();
+/// let a10 = scaled_area(&tech, SquareMicrons(1.0), Angstroms(10.0));
+/// let a14 = scaled_area(&tech, SquareMicrons(1.0), Angstroms(14.0));
+/// assert!((a10.0 - 1.0).abs() < 1e-12);
+/// assert!(a14.0 > 1.2 && a14.0 < 2.0); // grows, but sub-2x over the legal range
+/// ```
+pub fn scaled_area(tech: &TechnologyNode, base: SquareMicrons, tox: Angstroms) -> SquareMicrons {
+    let s = tech.cell_scale(tox);
+    SquareMicrons(base.0 * s * s)
+}
+
+/// Linear dimension of a structure after `Tox`-driven scaling (for wire
+/// lengths spanning scaled cells).
+pub fn scaled_length_factor(tech: &TechnologyNode, tox: Angstroms) -> f64 {
+    tech.cell_scale(tox)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_grows_quadratically() {
+        let tech = TechnologyNode::bptm65();
+        let s = tech.cell_scale(Angstroms(14.0));
+        let a = scaled_area(&tech, SquareMicrons(2.0), Angstroms(14.0));
+        assert!((a.0 - 2.0 * s * s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn length_factor_matches_cell_scale() {
+        let tech = TechnologyNode::bptm65();
+        for tox in [10.0, 11.0, 12.5, 14.0] {
+            let tox = Angstroms(tox);
+            assert_eq!(scaled_length_factor(&tech, tox), tech.cell_scale(tox));
+        }
+    }
+
+    #[test]
+    fn scaling_is_monotone_in_tox() {
+        let tech = TechnologyNode::bptm65();
+        let mut prev = 0.0;
+        for tox in [10.0, 11.0, 12.0, 13.0, 14.0] {
+            let a = scaled_area(&tech, SquareMicrons(1.0), Angstroms(tox)).0;
+            assert!(a > prev);
+            prev = a;
+        }
+    }
+}

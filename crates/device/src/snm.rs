@@ -1,0 +1,184 @@
+//! Static noise margin of the 6T cell — the stability constraint behind
+//! the paper's `Tox` scaling rule.
+//!
+//! The paper (Section 2): increasing `Tox` at fixed drawn length degrades
+//! gate control (DIBL), so the channel length must scale up, and "in
+//! order to maintain memory cell stability, the widths of the transistors
+//! in the memory cell need to be adjusted proportionately". This module
+//! provides a compact read-SNM model that makes the rule checkable: the
+//! margin holds up under the scaling rule and collapses without it.
+//!
+//! The model is a calibrated Seevinck-style approximation:
+//!
+//! `SNM ≈ k_vth·Vth + k_β·vT·ln(β) − k_dibl·η_eff·Vdd + offset`
+//!
+//! with `β` the cell ratio (pull-down strength over access strength) and
+//! `η_eff` the oxide-degraded DIBL `η(L)·(Tox/Tox_min)²`.
+
+use crate::knobs::KnobPoint;
+use crate::tech::TechnologyNode;
+use crate::units::{Meters, Volts};
+
+/// Vth coupling into the margin.
+const K_VTH: f64 = 0.45;
+
+/// Cell-ratio (β) coupling, multiplying `vT·ln(β)`.
+const K_BETA: f64 = 2.0;
+
+/// DIBL degradation weight.
+const K_DIBL: f64 = 2.0;
+
+/// Calibration offset placing the nominal cell at ≈ 160 mV.
+const OFFSET: f64 = 0.195;
+
+/// Minimum read margin considered stable at this node (industry rule of
+/// thumb: a cell below ~100 mV of read SNM is not manufacturable).
+pub const MIN_STABLE_SNM: Volts = Volts(0.100);
+
+/// Oxide-degraded DIBL: thicker oxide at a given channel length weakens
+/// gate control quadratically in the thickness ratio.
+pub fn effective_dibl(tech: &TechnologyNode, knobs: KnobPoint, length: Meters) -> f64 {
+    let r = knobs.tox() / tech.tox_min();
+    tech.dibl(length) * r * r
+}
+
+/// Read static noise margin of a 6T cell.
+///
+/// * `cell_ratio` — β, pull-down width over access width (≥ 1 for a
+///   readable cell).
+/// * `length` — the drawn channel length actually used (pass
+///   [`TechnologyNode::drawn_length`] to apply the paper's scaling rule,
+///   or the minimum length to see what happens without it).
+///
+/// ```
+/// use nm_device::snm::{read_snm, MIN_STABLE_SNM};
+/// use nm_device::{KnobPoint, TechnologyNode};
+///
+/// let tech = TechnologyNode::bptm65();
+/// let knobs = KnobPoint::nominal();
+/// let snm = read_snm(&tech, 1.33, knobs, tech.drawn_length(knobs.tox()));
+/// assert!(snm >= MIN_STABLE_SNM);
+/// ```
+pub fn read_snm(
+    tech: &TechnologyNode,
+    cell_ratio: f64,
+    knobs: KnobPoint,
+    length: Meters,
+) -> Volts {
+    assert!(
+        cell_ratio > 0.0 && cell_ratio.is_finite(),
+        "cell ratio must be positive, got {cell_ratio}"
+    );
+    let vt = tech.thermal_voltage().0;
+    let eta = effective_dibl(tech, knobs, length);
+    let snm = K_VTH * knobs.vth().0 + K_BETA * vt * cell_ratio.ln()
+        - K_DIBL * eta * tech.vdd().0
+        + OFFSET;
+    Volts(snm.max(0.0))
+}
+
+/// `true` when the margin meets [`MIN_STABLE_SNM`].
+pub fn is_stable(snm: Volts) -> bool {
+    snm.0 >= MIN_STABLE_SNM.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::Angstroms;
+
+    const BETA: f64 = 0.20 / 0.15; // default cell's pull-down / access
+
+    fn tech() -> TechnologyNode {
+        TechnologyNode::bptm65()
+    }
+
+    fn k(vth: f64, tox: f64) -> KnobPoint {
+        KnobPoint::new(Volts(vth), Angstroms(tox)).unwrap()
+    }
+
+    #[test]
+    fn nominal_cell_has_healthy_margin() {
+        let t = tech();
+        let p = KnobPoint::nominal();
+        let snm = read_snm(&t, BETA, p, t.drawn_length(p.tox()));
+        assert!(
+            (0.14..0.25).contains(&snm.0),
+            "nominal SNM = {} mV",
+            snm.0 * 1e3
+        );
+    }
+
+    #[test]
+    fn higher_vth_is_more_stable() {
+        let t = tech();
+        let lo = read_snm(&t, BETA, k(0.2, 12.0), t.drawn_length(Angstroms(12.0)));
+        let hi = read_snm(&t, BETA, k(0.5, 12.0), t.drawn_length(Angstroms(12.0)));
+        assert!(hi.0 > lo.0);
+    }
+
+    #[test]
+    fn stronger_cell_ratio_is_more_stable() {
+        let t = tech();
+        let p = KnobPoint::nominal();
+        let l = t.drawn_length(p.tox());
+        assert!(read_snm(&t, 2.0, p, l).0 > read_snm(&t, 1.0, p, l).0);
+    }
+
+    #[test]
+    fn scaling_rule_preserves_stability_across_tox() {
+        // With the paper's drawn-length scaling, every legal knob point
+        // above the minimum Vth stays manufacturable.
+        let t = tech();
+        for tox in [10.0, 11.0, 12.0, 13.0, 14.0] {
+            let p = k(0.25, tox);
+            let snm = read_snm(&t, BETA, p, t.drawn_length(p.tox()));
+            assert!(
+                is_stable(snm),
+                "Tox = {tox} Å: SNM = {} mV with scaling",
+                snm.0 * 1e3
+            );
+        }
+    }
+
+    #[test]
+    fn without_scaling_thick_oxide_collapses_the_margin() {
+        // Holding the drawn length at minimum while thickening the oxide
+        // — exactly what the paper says must not be done — costs a large
+        // fraction of the margin relative to the scaled cell.
+        let t = tech();
+        let p = k(0.25, 14.0);
+        let scaled = read_snm(&t, BETA, p, t.drawn_length(p.tox()));
+        let unscaled = read_snm(&t, BETA, p, t.lgate_min());
+        assert!(
+            unscaled.0 < scaled.0 - 0.025,
+            "unscaled {} mV vs scaled {} mV",
+            unscaled.0 * 1e3,
+            scaled.0 * 1e3
+        );
+    }
+
+    #[test]
+    fn effective_dibl_grows_with_tox_at_fixed_length() {
+        let t = tech();
+        let l = t.lgate_min();
+        let thin = effective_dibl(&t, k(0.3, 10.0), l);
+        let thick = effective_dibl(&t, k(0.3, 14.0), l);
+        assert!((thick / thin - 1.96).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell ratio must be positive")]
+    fn zero_ratio_panics() {
+        let t = tech();
+        let _ = read_snm(&t, 0.0, KnobPoint::nominal(), t.lgate_min());
+    }
+
+    #[test]
+    fn snm_never_negative() {
+        let t = tech();
+        // Worst legal corner with a weak cell, unscaled.
+        let snm = read_snm(&t, 1.0, k(0.2, 14.0), t.lgate_min());
+        assert!(snm.0 >= 0.0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Property tests for the fitting kernel and the physical models.
+
+use nm_device::fit::{least_squares, r_squared, solve_linear, DelayFit, LeakageFit, Sample};
+use nm_device::snm::read_snm;
+use nm_device::units::{Angstroms, Kelvin, Microns, Volts};
+use nm_device::{KnobGrid, KnobPoint, Mosfet, TechnologyNode};
+use proptest::prelude::*;
+
+fn grid_samples(mut f: impl FnMut(KnobPoint) -> f64) -> Vec<Sample> {
+    KnobGrid::paper()
+        .points()
+        .map(|p| Sample {
+            knobs: p,
+            value: f(p),
+        })
+        .collect::<Vec<_>>()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `solve_linear` inverts random diagonally dominant systems.
+    #[test]
+    fn solve_linear_inverts_dominant_systems(
+        entries in prop::collection::vec(-1.0f64..1.0, 9),
+        x_true in prop::collection::vec(-5.0f64..5.0, 3),
+    ) {
+        let mut m = vec![vec![0.0; 3]; 3];
+        for i in 0..3 {
+            for j in 0..3 {
+                m[i][j] = entries[i * 3 + j];
+            }
+            m[i][i] += 4.0; // force diagonal dominance (non-singular)
+        }
+        let b: Vec<f64> = (0..3)
+            .map(|i| (0..3).map(|j| m[i][j] * x_true[j]).sum())
+            .collect();
+        let x = solve_linear(m, b).expect("dominant systems are solvable");
+        for (got, want) in x.iter().zip(&x_true) {
+            prop_assert!((got - want).abs() < 1e-8, "{got} vs {want}");
+        }
+    }
+
+    /// Least squares on an exactly-linear response recovers the plane for
+    /// any coefficients.
+    #[test]
+    fn least_squares_recovers_random_planes(
+        c0 in -10.0f64..10.0,
+        c1 in -10.0f64..10.0,
+        c2 in -10.0f64..10.0,
+    ) {
+        let design: Vec<Vec<f64>> = (0..20)
+            .map(|i| {
+                let x = i as f64;
+                vec![1.0, x, (x * 0.37).sin()]
+            })
+            .collect();
+        let y: Vec<f64> = design
+            .iter()
+            .map(|r| c0 * r[0] + c1 * r[1] + c2 * r[2])
+            .collect();
+        let c = least_squares(&design, &y).expect("full-rank design");
+        prop_assert!((c[0] - c0).abs() < 1e-6);
+        prop_assert!((c[1] - c1).abs() < 1e-6);
+        prop_assert!((c[2] - c2).abs() < 1e-6);
+    }
+
+    /// The Eq. 1 fitter recovers synthetic surfaces of its own form even
+    /// with multiplicative noise, with high R².
+    #[test]
+    fn leakage_fit_survives_noise(
+        a0 in 1e-5f64..1e-3,
+        a1 in 1e-3f64..1e-1,
+        exp_vth in -35.0f64..-12.0,
+        a2 in 1.0f64..1e3,
+        exp_tox in -2.5f64..-0.6,
+        seed in 0u64..1000,
+    ) {
+        // Deterministic pseudo-noise from the seed (proptest supplies the
+        // randomness; keep the sample values reproducible per case).
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        let mut noise = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            1.0 + 0.02 * ((state % 1000) as f64 / 500.0 - 1.0)
+        };
+        let truth = |p: KnobPoint| {
+            a0 + a1 * (exp_vth * p.vth().0).exp() + a2 * (exp_tox * p.tox().0).exp()
+        };
+        let samples = grid_samples(|p| truth(p) * noise());
+        let fit = LeakageFit::fit(&samples).expect("fit converges");
+        // Judge against the noise-free surface: the fitted model must track
+        // it within a few percent RMS (an R² criterion on the *noisy*
+        // samples would be unreachable for nearly-constant surfaces where
+        // the 2 % noise dominates the signal variance).
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for p in KnobGrid::paper().points() {
+            let t = truth(p);
+            let e = fit.evaluate(p) - t;
+            num += e * e;
+            den += t * t;
+        }
+        let rel_rms = (num / den).sqrt();
+        prop_assert!(rel_rms < 0.03, "relative RMS = {rel_rms}");
+    }
+
+    /// The Eq. 2 fitter recovers synthetic delay surfaces.
+    #[test]
+    fn delay_fit_recovers_surfaces(
+        k0 in 10.0f64..200.0,
+        k1 in 0.5f64..20.0,
+        k3 in 1.0f64..8.0,
+        k2 in 1.0f64..50.0,
+    ) {
+        let samples = grid_samples(|p| k0 + k1 * (k3 * p.vth().0).exp() + k2 * p.tox().0);
+        let fit = DelayFit::fit(&samples).expect("fit converges");
+        prop_assert!(fit.r_squared > 0.9999, "R² = {}", fit.r_squared);
+        prop_assert!((fit.k2 - k2).abs() / k2 < 0.05, "k2 {} vs {}", fit.k2, k2);
+    }
+
+    /// R² of any prediction never exceeds 1.
+    #[test]
+    fn r_squared_bounded_above(
+        obs in prop::collection::vec(-10.0f64..10.0, 3..30),
+        shift in -1.0f64..1.0,
+    ) {
+        let pred: Vec<f64> = obs.iter().map(|o| o + shift).collect();
+        let r = r_squared(&obs, &pred);
+        prop_assert!(r <= 1.0 + 1e-12);
+    }
+
+    /// Total leakage is monotone in temperature for every legal knob
+    /// point (hotter silicon always leaks more).
+    #[test]
+    fn leakage_monotone_in_temperature(
+        vth in 0.2f64..0.5,
+        tox in 10.0f64..14.0,
+        t_low_c in 0.0f64..80.0,
+        dt in 5.0f64..60.0,
+    ) {
+        let knobs = KnobPoint::new(Volts(vth), Angstroms(tox)).unwrap();
+        let base = TechnologyNode::bptm65();
+        let cold = base.at_temperature(Kelvin::from_celsius(t_low_c));
+        let hot = base.at_temperature(Kelvin::from_celsius(t_low_c + dt));
+        let l = base.drawn_length(knobs.tox());
+        let m = Mosfet::nmos(Microns(1.0), l, knobs);
+        prop_assert!(m.leakage(&hot).total().0 >= m.leakage(&cold).total().0);
+    }
+
+    /// Read SNM is monotone in Vth and in cell ratio everywhere on the
+    /// legal window (with the scaling rule applied).
+    #[test]
+    fn snm_monotone_in_vth_and_beta(
+        vth in 0.2f64..0.44,
+        tox in 10.0f64..14.0,
+        beta in 1.0f64..2.5,
+    ) {
+        let tech = TechnologyNode::bptm65();
+        let p = |v: f64| KnobPoint::new(Volts(v), Angstroms(tox)).unwrap();
+        let l = tech.drawn_length(Angstroms(tox));
+        let base = read_snm(&tech, beta, p(vth), l);
+        let hi_v = read_snm(&tech, beta, p(vth + 0.05), l);
+        let hi_b = read_snm(&tech, beta + 0.3, p(vth), l);
+        prop_assert!(hi_v.0 >= base.0);
+        prop_assert!(hi_b.0 >= base.0);
+    }
+
+    /// The drawn-length scaling rule is monotone and bounded on the legal
+    /// Tox window.
+    #[test]
+    fn drawn_length_scaling_bounded(tox in 10.0f64..14.0) {
+        let tech = TechnologyNode::bptm65();
+        let l = tech.drawn_length(Angstroms(tox));
+        prop_assert!(l.0 >= tech.lgate_min().0);
+        prop_assert!(l.0 <= tech.lgate_min().0 * 1.25);
+    }
+}

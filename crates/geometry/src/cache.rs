@@ -1,0 +1,350 @@
+//! Whole-cache composition: per-component metrics and their sums.
+//!
+//! Following the paper's Section 3, "we can approximate both the total
+//! leakage and the delay of a cache system by summing up the leakage and
+//! delay of each cache component", with each component's delay and leakage
+//! depending **only on its own knob pair**. The component boundaries are
+//! drawn so this independence holds exactly in the model:
+//!
+//! * the decoder's wordline driver sees a *fixed nominal* wordline load,
+//! * the array's wordline propagation assumes a *fixed nominal* driver
+//!   resistance,
+//! * bus wire lengths come from a *fixed floorplan* sized at the nominal
+//!   process corner (routing is planned once; cell-area growth with `Tox`
+//!   is charged to the area metric, not re-routed per candidate).
+
+use crate::array;
+use crate::assignment::{ComponentId, ComponentKnobs, COMPONENT_IDS};
+use crate::bus;
+use crate::config::CacheConfig;
+use crate::decoder;
+use crate::sram::SramCell;
+use nm_device::leakage::LeakageBreakdown;
+use nm_device::units::{Joules, Seconds, SquareMicrons};
+use nm_device::{KnobPoint, TechnologyNode};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Metrics of one cache component under one knob pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComponentMetrics {
+    /// Contribution to the access-path delay.
+    pub delay: Seconds,
+    /// Standby leakage power.
+    pub leakage: LeakageBreakdown,
+    /// Dynamic energy this component dissipates per read access.
+    pub read_energy: Joules,
+    /// Dynamic energy per write access (full-rail bitline swing in the
+    /// array; identical to a read elsewhere).
+    pub write_energy: Joules,
+    /// Transistor count.
+    pub transistors: u64,
+    /// Silicon area.
+    pub area: SquareMicrons,
+}
+
+impl ComponentMetrics {
+    /// A zero-valued metrics record.
+    pub const ZERO: Self = ComponentMetrics {
+        delay: Seconds(0.0),
+        leakage: LeakageBreakdown::ZERO,
+        read_energy: Joules(0.0),
+        write_energy: Joules(0.0),
+        transistors: 0,
+        area: SquareMicrons(0.0),
+    };
+}
+
+/// Full analysis of a cache under a component-knob assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheMetrics {
+    per_component: [ComponentMetrics; 4],
+}
+
+impl CacheMetrics {
+    /// Metrics of one component.
+    pub fn component(&self, id: ComponentId) -> &ComponentMetrics {
+        &self.per_component[id.index()]
+    }
+
+    /// Access time: the sum of the four component delays (the paper's
+    /// additive delay model).
+    pub fn access_time(&self) -> Seconds {
+        self.per_component.iter().map(|m| m.delay).sum()
+    }
+
+    /// Total standby leakage across components.
+    pub fn leakage(&self) -> LeakageBreakdown {
+        self.per_component.iter().map(|m| m.leakage).sum()
+    }
+
+    /// Dynamic energy per read access.
+    pub fn read_energy(&self) -> Joules {
+        self.per_component.iter().map(|m| m.read_energy).sum()
+    }
+
+    /// Dynamic energy per write access.
+    pub fn write_energy(&self) -> Joules {
+        self.per_component.iter().map(|m| m.write_energy).sum()
+    }
+
+    /// Total transistor count.
+    pub fn transistors(&self) -> u64 {
+        self.per_component.iter().map(|m| m.transistors).sum()
+    }
+
+    /// Total silicon area.
+    pub fn area(&self) -> SquareMicrons {
+        self.per_component.iter().map(|m| m.area).sum()
+    }
+}
+
+impl fmt::Display for CacheMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "access {:.0} ps, leakage {:.3} mW, read {:.2} pJ, {:.3} mm²",
+            self.access_time().picos(),
+            self.leakage().total().milli(),
+            self.read_energy().picos(),
+            self.area().0 / 1e6
+        )
+    }
+}
+
+/// A cache organisation bound to a technology node, ready to be analysed
+/// under any number of knob assignments.
+///
+/// Construction precomputes the physical organisation; [`analyze`] and the
+/// per-component [`analyze_component`] are pure functions of the knob
+/// assignment, which is what the optimisers exploit (the separable
+/// delay-budget search evaluates single components thousands of times).
+///
+/// [`analyze`]: CacheCircuit::analyze
+/// [`analyze_component`]: CacheCircuit::analyze_component
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheCircuit {
+    config: CacheConfig,
+    tech: TechnologyNode,
+    cell: SramCell,
+    org: crate::config::Organization,
+}
+
+impl CacheCircuit {
+    /// Binds a configuration to a technology node with the default 65 nm
+    /// cell and the default subarray folding.
+    pub fn new(config: CacheConfig, tech: &TechnologyNode) -> Self {
+        CacheCircuit {
+            config,
+            tech: tech.clone(),
+            cell: SramCell::default_65nm(),
+            org: config.organization(),
+        }
+    }
+
+    /// Binds a configuration with a custom cell design.
+    pub fn with_cell(config: CacheConfig, tech: &TechnologyNode, cell: SramCell) -> Self {
+        CacheCircuit {
+            config,
+            tech: tech.clone(),
+            cell,
+            org: config.organization(),
+        }
+    }
+
+    /// Binds a configuration with an explicit subarray folding (see
+    /// [`crate::explore`] for choosing one).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the organisation does not tile this configuration's
+    /// cells exactly — pass foldings produced by
+    /// [`Organization::custom`](crate::config::Organization::custom).
+    pub fn with_organization(
+        config: CacheConfig,
+        tech: &TechnologyNode,
+        org: crate::config::Organization,
+    ) -> Self {
+        assert_eq!(
+            org.rows * org.cols * org.subarrays,
+            config.size_bytes() * 8,
+            "organisation does not tile the configured capacity"
+        );
+        CacheCircuit {
+            config,
+            tech: tech.clone(),
+            cell: SramCell::default_65nm(),
+            org,
+        }
+    }
+
+    /// The subarray folding in use.
+    pub fn organization(&self) -> crate::config::Organization {
+        self.org
+    }
+
+    /// The architectural configuration.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// The bound technology node.
+    pub fn tech(&self) -> &TechnologyNode {
+        &self.tech
+    }
+
+    /// The cell design.
+    pub fn cell(&self) -> &SramCell {
+        &self.cell
+    }
+
+    /// Analyses a single component under a knob pair. Component metrics
+    /// depend only on `(id, knobs)` — the independence the optimisers
+    /// rely on.
+    pub fn analyze_component(&self, id: ComponentId, knobs: KnobPoint) -> ComponentMetrics {
+        let org = self.org;
+        match id {
+            ComponentId::MemoryArray => array::analyze(&self.tech, &org, &self.cell, knobs),
+            ComponentId::Decoder => decoder::analyze(&self.tech, &org, &self.cell, knobs),
+            ComponentId::AddressBus => {
+                bus::analyze_address(&self.tech, &org, &self.cell, knobs)
+            }
+            ComponentId::DataBus => bus::analyze_data(&self.tech, &org, &self.cell, knobs),
+        }
+    }
+
+    /// Analyses the whole cache under a component-knob assignment.
+    pub fn analyze(&self, knobs: &ComponentKnobs) -> CacheMetrics {
+        let mut per_component = [ComponentMetrics::ZERO; 4];
+        for id in COMPONENT_IDS {
+            per_component[id.index()] = self.analyze_component(id, knobs.get(id));
+        }
+        CacheMetrics { per_component }
+    }
+
+    /// The fastest achievable access time (every component at the
+    /// fastest legal corner) — the tightest meaningful delay constraint.
+    pub fn fastest_access_time(&self) -> Seconds {
+        self.analyze(&ComponentKnobs::uniform(KnobPoint::fastest()))
+            .access_time()
+    }
+
+    /// The slowest access time on the legal knob range (every component
+    /// at the lowest-leakage corner) — beyond this a delay constraint is
+    /// not binding.
+    pub fn slowest_access_time(&self) -> Seconds {
+        self.analyze(&ComponentKnobs::uniform(KnobPoint::lowest_leakage()))
+            .access_time()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nm_device::units::{Angstroms, Volts};
+
+    fn circuit(size: u64) -> CacheCircuit {
+        let tech = TechnologyNode::bptm65();
+        CacheCircuit::new(CacheConfig::new(size, 64, 4).unwrap(), &tech)
+    }
+
+    fn k(vth: f64, tox: f64) -> KnobPoint {
+        KnobPoint::new(Volts(vth), Angstroms(tox)).unwrap()
+    }
+
+    #[test]
+    fn sums_equal_component_sums() {
+        let c = circuit(16 * 1024);
+        let m = c.analyze(&ComponentKnobs::default());
+        let manual: Seconds = COMPONENT_IDS
+            .iter()
+            .map(|&id| m.component(id).delay)
+            .sum();
+        assert!((m.access_time().0 - manual.0).abs() < 1e-18);
+    }
+
+    #[test]
+    fn fastest_corner_is_fastest_and_leakiest() {
+        let c = circuit(16 * 1024);
+        let fast = c.analyze(&ComponentKnobs::uniform(KnobPoint::fastest()));
+        let slow = c.analyze(&ComponentKnobs::uniform(KnobPoint::lowest_leakage()));
+        assert!(fast.access_time().0 < slow.access_time().0);
+        assert!(fast.leakage().total().0 > slow.leakage().total().0);
+        assert!((c.fastest_access_time().0 - fast.access_time().0).abs() < 1e-18);
+        assert!((c.slowest_access_time().0 - slow.access_time().0).abs() < 1e-18);
+    }
+
+    #[test]
+    fn sixteen_kb_lands_in_paper_bands() {
+        // Figure 1 plots a 16 KB cache between ~800–2200 ps and 0–60 mW.
+        let c = circuit(16 * 1024);
+        let fast = c.analyze(&ComponentKnobs::uniform(KnobPoint::fastest()));
+        let slow = c.analyze(&ComponentKnobs::uniform(KnobPoint::lowest_leakage()));
+        let t_lo = fast.access_time().picos();
+        let t_hi = slow.access_time().picos();
+        assert!((400.0..1600.0).contains(&t_lo), "fastest = {t_lo} ps");
+        assert!(t_hi / t_lo > 1.5, "knobs span only {:.2}x", t_hi / t_lo);
+        let p_hi = fast.leakage().total().milli();
+        assert!((10.0..120.0).contains(&p_hi), "max leakage = {p_hi} mW");
+        let p_lo = slow.leakage().total().milli();
+        assert!(p_hi / p_lo > 20.0, "leakage span only {:.1}x", p_hi / p_lo);
+    }
+
+    #[test]
+    fn bigger_cache_is_slower_bigger_leakier() {
+        let small = circuit(16 * 1024).analyze(&ComponentKnobs::default());
+        let big = circuit(1024 * 1024).analyze(&ComponentKnobs::default());
+        assert!(big.access_time().0 > small.access_time().0);
+        assert!(big.leakage().total().0 > small.leakage().total().0);
+        assert!(big.area().0 > small.area().0);
+        assert!(big.transistors() > small.transistors());
+        assert!(big.read_energy().0 > small.read_energy().0);
+    }
+
+    #[test]
+    fn array_dominates_leakage() {
+        // The cell array is by far the leakiest component (the premise of
+        // the paper's Scheme II).
+        let c = circuit(64 * 1024);
+        let m = c.analyze(&ComponentKnobs::default());
+        let array = m.component(ComponentId::MemoryArray).leakage.total().0;
+        let periph: f64 = COMPONENT_IDS
+            .iter()
+            .filter(|id| id.is_peripheral())
+            .map(|&id| m.component(id).leakage.total().0)
+            .sum();
+        assert!(array > 2.0 * periph, "array {array} vs periphery {periph}");
+    }
+
+    #[test]
+    fn component_independence() {
+        // Changing one component's knobs must not change another's metrics.
+        let c = circuit(16 * 1024);
+        let base = ComponentKnobs::uniform(k(0.3, 12.0));
+        let tweaked = base.with(ComponentId::Decoder, k(0.5, 14.0));
+        let m0 = c.analyze(&base);
+        let m1 = c.analyze(&tweaked);
+        for id in [ComponentId::MemoryArray, ComponentId::AddressBus, ComponentId::DataBus] {
+            assert_eq!(m0.component(id), m1.component(id), "{id} changed");
+        }
+        assert_ne!(m0.component(ComponentId::Decoder), m1.component(ComponentId::Decoder));
+    }
+
+    #[test]
+    fn analyze_component_matches_full_analysis() {
+        let c = circuit(32 * 1024);
+        let knobs = ComponentKnobs::split(k(0.45, 13.0), k(0.25, 10.5));
+        let full = c.analyze(&knobs);
+        for id in COMPONENT_IDS {
+            let single = c.analyze_component(id, knobs.get(id));
+            assert_eq!(&single, full.component(id));
+        }
+    }
+
+    #[test]
+    fn display_shows_headline_numbers() {
+        let c = circuit(16 * 1024);
+        let s = c.analyze(&ComponentKnobs::default()).to_string();
+        assert!(s.contains("ps") && s.contains("mW") && s.contains("pJ"), "{s}");
+    }
+}

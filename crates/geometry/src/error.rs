@@ -1,0 +1,77 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when validating a cache organisation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GeometryError {
+    /// A size parameter was not a power of two.
+    NotPowerOfTwo {
+        /// Which parameter ("size", "block", "associativity").
+        which: &'static str,
+        /// The offending value.
+        value: u64,
+    },
+    /// The block size exceeded the cache size.
+    BlockLargerThanCache {
+        /// Cache size in bytes.
+        size: u64,
+        /// Block size in bytes.
+        block: u64,
+    },
+    /// Associativity exceeded the number of blocks in the cache.
+    AssociativityTooHigh {
+        /// Requested associativity.
+        assoc: u64,
+        /// Number of blocks available.
+        blocks: u64,
+    },
+    /// The cache was smaller than the model supports.
+    TooSmall {
+        /// Requested size in bytes.
+        size: u64,
+        /// Minimum supported size in bytes.
+        min: u64,
+    },
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::NotPowerOfTwo { which, value } => {
+                write!(f, "cache {which} must be a power of two, got {value}")
+            }
+            GeometryError::BlockLargerThanCache { size, block } => {
+                write!(f, "block size {block} B exceeds cache size {size} B")
+            }
+            GeometryError::AssociativityTooHigh { assoc, blocks } => {
+                write!(f, "associativity {assoc} exceeds block count {blocks}")
+            }
+            GeometryError::TooSmall { size, min } => {
+                write!(f, "cache size {size} B below the supported minimum {min} B")
+            }
+        }
+    }
+}
+
+impl Error for GeometryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_meaningful() {
+        let e = GeometryError::NotPowerOfTwo {
+            which: "size",
+            value: 3000,
+        };
+        assert!(e.to_string().contains("3000"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GeometryError>();
+    }
+}

@@ -1,0 +1,326 @@
+//! Circuit primitives shared by the cache components: static CMOS gates,
+//! RC wires with Elmore delay, and repeater insertion.
+
+use nm_device::leakage::{self, ConductionState, LeakageBreakdown};
+use nm_device::transistor::MosfetKind;
+use nm_device::units::{Farads, Joules, Meters, Microns, Ohms, Seconds};
+use nm_device::{drive, KnobPoint, TechnologyNode};
+use serde::{Deserialize, Serialize};
+
+/// Ratio of PMOS to NMOS width in a balanced static gate.
+pub const PN_RATIO: f64 = 2.0;
+
+/// Elmore switching coefficient (0-to-50 % step response of an RC stage).
+pub const ELMORE: f64 = 0.69;
+
+/// A balanced static CMOS inverter (the generic gate of the periphery
+/// models; NANDs and NORs are expressed as inverters with series-stack
+/// resistance factors).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Gate {
+    /// NMOS width; PMOS is [`PN_RATIO`] times wider.
+    pub wn: Microns,
+    /// Knob assignment of the component this gate belongs to.
+    pub knobs: KnobPoint,
+    /// Series-stack factor ≥ 1 (2 for a NAND2 pulldown, etc.).
+    pub stack: f64,
+}
+
+impl Gate {
+    /// Creates a balanced inverter with unit stack factor.
+    pub fn inverter(wn: Microns, knobs: KnobPoint) -> Self {
+        Gate {
+            wn,
+            knobs,
+            stack: 1.0,
+        }
+    }
+
+    /// Creates a 2-input NAND-equivalent gate (stacked pulldown).
+    pub fn nand2(wn: Microns, knobs: KnobPoint) -> Self {
+        Gate {
+            wn,
+            knobs,
+            stack: 2.0,
+        }
+    }
+
+    /// PMOS width of the balanced gate.
+    pub fn wp(self) -> Microns {
+        self.wn * PN_RATIO
+    }
+
+    /// Drawn channel length mandated by this gate's `Tox`.
+    pub fn length(self, tech: &TechnologyNode) -> Meters {
+        tech.drawn_length(self.knobs.tox())
+    }
+
+    /// Worst-case switching resistance (pull-down path including the
+    /// stack factor).
+    pub fn resistance(self, tech: &TechnologyNode) -> Ohms {
+        let r = drive::effective_resistance(tech, self.knobs, self.wn, self.length(tech), MosfetKind::Nmos);
+        Ohms(r.0 * self.stack)
+    }
+
+    /// Input capacitance presented to the previous stage (both gates).
+    pub fn input_capacitance(self, tech: &TechnologyNode) -> Farads {
+        let l = self.length(tech);
+        let cn = drive::gate_capacitance(tech, self.knobs, self.wn, l);
+        let cp = drive::gate_capacitance(tech, self.knobs, self.wp(), l);
+        cn + cp
+    }
+
+    /// Parasitic self-capacitance at the output (drain junctions).
+    pub fn self_capacitance(self, tech: &TechnologyNode) -> Farads {
+        drive::drain_capacitance(tech, self.wn) + drive::drain_capacitance(tech, self.wp())
+    }
+
+    /// Propagation delay driving an external load.
+    pub fn delay(self, tech: &TechnologyNode, load: Farads) -> Seconds {
+        let c = self.self_capacitance(tech) + load;
+        Seconds(ELMORE * self.resistance(tech).0 * c.0)
+    }
+
+    /// Standby leakage of the gate, averaged over input states: at any
+    /// time one transistor of the pair is off (subthreshold + edge gate
+    /// tunnelling) and the other is on (full gate tunnelling).
+    pub fn leakage(self, tech: &TechnologyNode) -> LeakageBreakdown {
+        let l = self.length(tech);
+        let vdd = tech.vdd();
+        let half = |w: Microns| {
+            let sub = leakage::subthreshold_current(tech, self.knobs, w, l);
+            let g_off = leakage::gate_current(tech, self.knobs, w, l, ConductionState::Off);
+            let g_on = leakage::gate_current(tech, self.knobs, w, l, ConductionState::On);
+            let j = leakage::junction_current(tech, w);
+            // 50 % duty in each state.
+            LeakageBreakdown::from_currents(vdd, sub * 0.5, (g_off + g_on) * 0.5, j)
+        };
+        // Stacked pulldowns leak less when off (stack effect ≈ /stack).
+        let mut n = half(self.wn);
+        n.subthreshold = n.subthreshold / self.stack;
+        let p = half(self.wp());
+        n + p
+    }
+
+    /// Energy dissipated by one output transition driving `load`.
+    pub fn switching_energy(self, tech: &TechnologyNode, load: Farads) -> Joules {
+        let c = self.self_capacitance(tech) + self.input_capacitance(tech) + load;
+        // One full charge/discharge cycle dissipates C·V²; a single
+        // transition dissipates half.
+        Joules(0.5 * c.0 * tech.vdd().0 * tech.vdd().0)
+    }
+}
+
+/// A distributed RC wire segment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Wire {
+    /// Total series resistance.
+    pub resistance: Ohms,
+    /// Total distributed capacitance.
+    pub capacitance: Farads,
+}
+
+impl Wire {
+    /// Builds a wire of the given length from the node's per-length
+    /// parasitics.
+    pub fn new(tech: &TechnologyNode, length: Meters) -> Self {
+        Wire {
+            resistance: Ohms(tech.wire_res_per_length() * length.0),
+            capacitance: Farads(tech.wire_cap_per_length() * length.0),
+        }
+    }
+
+    /// Elmore delay through this wire from a driver with resistance
+    /// `r_driver` into a lumped `load`.
+    pub fn elmore_delay(self, r_driver: Ohms, load: Farads) -> Seconds {
+        let t = ELMORE * (r_driver.0 * (self.capacitance.0 + load.0))
+            + ELMORE * self.resistance.0 * (0.5 * self.capacitance.0 + load.0);
+        Seconds(t)
+    }
+}
+
+/// Delay and driver cost of a repeated (buffer-inserted) wire of length
+/// `length` driven by identical gates of width `wn`.
+///
+/// Returns `(delay, repeater_count)` with one repeater per
+/// a fixed repeater pitch (0.5 mm; at least one driver).
+pub fn repeated_wire(
+    tech: &TechnologyNode,
+    knobs: KnobPoint,
+    wn: Microns,
+    length: Meters,
+) -> (Seconds, u64) {
+    /// Repeater pitch in metres (0.5 mm of intermediate metal).
+    const REPEATER_PITCH: f64 = 0.5e-3;
+    let stages = (length.0 / REPEATER_PITCH).ceil().max(1.0) as u64;
+    let seg = Meters(length.0 / stages as f64);
+    let driver = Gate::inverter(wn, knobs);
+    let wire = Wire::new(tech, seg);
+    let per_stage = wire.elmore_delay(driver.resistance(tech), driver.input_capacitance(tech))
+        + driver.delay(tech, Farads(0.0));
+    (Seconds(per_stage.0 * stages as f64), stages)
+}
+
+/// Searches driver widths and stage counts for the fastest repeated-wire
+/// configuration, returning `(delay, width, stages)`.
+///
+/// A small discrete search (rather than the classic closed form) so it
+/// remains exact under this model's near-threshold resistance term; used
+/// to sanity-check the fixed-pitch default in [`repeated_wire`].
+pub fn optimal_repeaters(
+    tech: &TechnologyNode,
+    knobs: KnobPoint,
+    length: Meters,
+) -> (Seconds, Microns, u64) {
+    let mut best: Option<(Seconds, Microns, u64)> = None;
+    for width_um in [1.0, 2.0, 4.0, 8.0, 16.0] {
+        let wn = Microns(width_um);
+        let driver = Gate::inverter(wn, knobs);
+        for stages in 1..=64u64 {
+            let seg = Meters(length.0 / stages as f64);
+            let wire = Wire::new(tech, seg);
+            let per_stage = wire
+                .elmore_delay(driver.resistance(tech), driver.input_capacitance(tech))
+                + driver.delay(tech, Farads(0.0));
+            let total = Seconds(per_stage.0 * stages as f64);
+            if best.as_ref().is_none_or(|(t, _, _)| total.0 < t.0) {
+                best = Some((total, wn, stages));
+            }
+        }
+    }
+    best.expect("search space is non-empty")
+}
+
+/// Delay of a logical-effort chain of `stages` identical gates each
+/// driving `fanout` copies of the next.
+pub fn chain_delay(
+    tech: &TechnologyNode,
+    knobs: KnobPoint,
+    wn: Microns,
+    stages: u32,
+    fanout: f64,
+) -> Seconds {
+    let g = Gate::inverter(wn, knobs);
+    let load = Farads(g.input_capacitance(tech).0 * fanout);
+    Seconds(g.delay(tech, load).0 * f64::from(stages))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nm_device::units::{Angstroms, Volts};
+
+    fn tech() -> TechnologyNode {
+        TechnologyNode::bptm65()
+    }
+
+    fn k(vth: f64, tox: f64) -> KnobPoint {
+        KnobPoint::new(Volts(vth), Angstroms(tox)).unwrap()
+    }
+
+    #[test]
+    fn inverter_delay_is_picoseconds() {
+        let t = tech();
+        let g = Gate::inverter(Microns(1.0), KnobPoint::nominal());
+        let d = g.delay(&t, g.input_capacitance(&t) * 4.0);
+        assert!((1.0..100.0).contains(&d.picos()), "d = {} ps", d.picos());
+    }
+
+    #[test]
+    fn higher_vth_is_slower_and_less_leaky() {
+        let t = tech();
+        let fast = Gate::inverter(Microns(1.0), k(0.2, 12.0));
+        let slow = Gate::inverter(Microns(1.0), k(0.5, 12.0));
+        let load = fast.input_capacitance(&t);
+        assert!(slow.delay(&t, load).0 > fast.delay(&t, load).0);
+        assert!(slow.leakage(&t).total().0 < fast.leakage(&t).total().0);
+    }
+
+    #[test]
+    fn nand_stack_slower_but_leaks_less_subthreshold() {
+        let t = tech();
+        let inv = Gate::inverter(Microns(1.0), KnobPoint::nominal());
+        let nand = Gate::nand2(Microns(1.0), KnobPoint::nominal());
+        let load = inv.input_capacitance(&t);
+        assert!(nand.delay(&t, load).0 > inv.delay(&t, load).0);
+        assert!(nand.leakage(&t).subthreshold.0 < inv.leakage(&t).subthreshold.0);
+    }
+
+    #[test]
+    fn wire_delay_grows_quadratically_unrepeated() {
+        let t = tech();
+        let short = Wire::new(&t, Meters(0.5e-3));
+        let long = Wire::new(&t, Meters(1.0e-3));
+        let r = Ohms(1000.0);
+        let d1 = short.elmore_delay(r, Farads(0.0)).0;
+        let d2 = long.elmore_delay(r, Farads(0.0)).0;
+        // Doubling an RC-dominated wire should more than double its delay.
+        assert!(d2 > 2.0 * d1 * 0.99, "d1 = {d1}, d2 = {d2}");
+    }
+
+    #[test]
+    fn repeaters_help_long_wires() {
+        let t = tech();
+        let knobs = KnobPoint::nominal();
+        let wn = Microns(4.0);
+        let len = Meters(4e-3);
+        let (rep, stages) = repeated_wire(&t, knobs, wn, len);
+        let g = Gate::inverter(wn, knobs);
+        let raw = Wire::new(&t, len).elmore_delay(g.resistance(&t), Farads(0.0));
+        assert!(stages >= 4);
+        assert!(rep.0 < raw.0, "repeated {} ps ≥ raw {} ps", rep.picos(), raw.picos());
+    }
+
+    #[test]
+    fn optimal_repeaters_beat_the_fixed_pitch_default() {
+        let t = tech();
+        let knobs = KnobPoint::nominal();
+        for len_mm in [1.0, 4.0] {
+            let length = Meters(len_mm * 1e-3);
+            let (fixed, _) = repeated_wire(&t, knobs, Microns(4.0), length);
+            let (opt, w, stages) = optimal_repeaters(&t, knobs, length);
+            assert!(
+                opt.0 <= fixed.0 + 1e-18,
+                "{len_mm} mm: optimal {} ps > fixed {} ps",
+                opt.picos(),
+                fixed.picos()
+            );
+            assert!(w.0 >= 1.0 && stages >= 1);
+        }
+    }
+
+    #[test]
+    fn optimal_repeaters_use_more_stages_on_longer_wires() {
+        let t = tech();
+        let knobs = KnobPoint::nominal();
+        let (_, _, short) = optimal_repeaters(&t, knobs, Meters(0.5e-3));
+        let (_, _, long) = optimal_repeaters(&t, knobs, Meters(8e-3));
+        assert!(long > short, "short {short}, long {long}");
+    }
+
+    #[test]
+    fn chain_delay_scales_with_stages() {
+        let t = tech();
+        let d2 = chain_delay(&t, KnobPoint::nominal(), Microns(0.5), 2, 4.0);
+        let d6 = chain_delay(&t, KnobPoint::nominal(), Microns(0.5), 6, 4.0);
+        assert!((d6.0 / d2.0 - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn switching_energy_positive_and_grows_with_load() {
+        let t = tech();
+        let g = Gate::inverter(Microns(1.0), KnobPoint::nominal());
+        let e0 = g.switching_energy(&t, Farads(0.0));
+        let e1 = g.switching_energy(&t, Farads::from_femtos(100.0));
+        assert!(e0.0 > 0.0);
+        assert!(e1.0 > e0.0);
+    }
+
+    #[test]
+    fn gate_leakage_sensitive_to_tox() {
+        let t = tech();
+        let thin = Gate::inverter(Microns(1.0), k(0.3, 10.0)).leakage(&t);
+        let thick = Gate::inverter(Microns(1.0), k(0.3, 14.0)).leakage(&t);
+        assert!(thin.gate.0 / thick.gate.0 > 10.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property tests for the cache circuit model's structural invariants.
+
+use nm_device::units::{Angstroms, Volts};
+use nm_device::{KnobPoint, TechnologyNode};
+use nm_geometry::explore::{best, Objective};
+use nm_geometry::{CacheCircuit, CacheConfig, ComponentId, ComponentKnobs, COMPONENT_IDS};
+use proptest::prelude::*;
+
+/// Strategy over legal (size, block, associativity) triples.
+fn arb_config() -> impl Strategy<Value = CacheConfig> {
+    (10u32..24, 5u32..8, 0u32..4).prop_filter_map(
+        "config must be internally consistent",
+        |(size_log2, block_log2, ways_log2)| {
+            CacheConfig::new(1 << size_log2, 1 << block_log2, 1 << ways_log2).ok()
+        },
+    )
+}
+
+fn arb_knobs() -> impl Strategy<Value = KnobPoint> {
+    (0.2f64..=0.5, 10.0f64..=14.0)
+        .prop_map(|(v, t)| KnobPoint::new(Volts(v), Angstroms(t)).expect("in range"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The subarray layout conserves every data cell for any legal
+    /// configuration.
+    #[test]
+    fn organization_conserves_cells(config in arb_config()) {
+        let org = config.organization();
+        prop_assert_eq!(org.rows * org.cols * org.subarrays, config.size_bytes() * 8);
+        prop_assert!(org.rows >= 1 && org.cols >= 1 && org.subarrays >= 1);
+        prop_assert!(org.sense_amps >= 1);
+        prop_assert!(org.tag_cells > 0);
+    }
+
+    /// Every component metric is finite and positive at every knob point,
+    /// for any configuration.
+    #[test]
+    fn component_metrics_well_formed(config in arb_config(), knobs in arb_knobs()) {
+        let tech = TechnologyNode::bptm65();
+        let circuit = CacheCircuit::new(config, &tech);
+        for id in COMPONENT_IDS {
+            let m = circuit.analyze_component(id, knobs);
+            prop_assert!(m.delay.0.is_finite() && m.delay.0 > 0.0, "{id} delay");
+            prop_assert!(m.leakage.total().0.is_finite() && m.leakage.total().0 > 0.0, "{id} leak");
+            prop_assert!(m.read_energy.0.is_finite() && m.read_energy.0 > 0.0, "{id} energy");
+            prop_assert!(m.area.0 > 0.0, "{id} area");
+            prop_assert!(m.transistors > 0, "{id} transistors");
+        }
+    }
+
+    /// Component independence: perturbing one component's knobs never
+    /// changes another component's metrics (the paper's additive model).
+    #[test]
+    fn component_independence(
+        config in arb_config(),
+        base in arb_knobs(),
+        tweak in arb_knobs(),
+    ) {
+        let tech = TechnologyNode::bptm65();
+        let circuit = CacheCircuit::new(config, &tech);
+        let a = ComponentKnobs::uniform(base);
+        let b = a.with(ComponentId::AddressBus, tweak);
+        let ma = circuit.analyze(&a);
+        let mb = circuit.analyze(&b);
+        for id in [ComponentId::MemoryArray, ComponentId::Decoder, ComponentId::DataBus] {
+            prop_assert_eq!(ma.component(id), mb.component(id), "{} changed", id);
+        }
+    }
+
+    /// Doubling the cache size (same block/ways) increases leakage,
+    /// transistors and area at any knob point.
+    #[test]
+    fn bigger_cache_costs_more(
+        size_log2 in 12u32..22,
+        knobs in arb_knobs(),
+    ) {
+        let tech = TechnologyNode::bptm65();
+        let small = CacheCircuit::new(
+            CacheConfig::new(1 << size_log2, 64, 4).unwrap(),
+            &tech,
+        );
+        let big = CacheCircuit::new(
+            CacheConfig::new(1 << (size_log2 + 1), 64, 4).unwrap(),
+            &tech,
+        );
+        let u = ComponentKnobs::uniform(knobs);
+        let ms = small.analyze(&u);
+        let mb = big.analyze(&u);
+        prop_assert!(mb.leakage().total().0 > ms.leakage().total().0);
+        prop_assert!(mb.transistors() > ms.transistors());
+        prop_assert!(mb.area().0 > ms.area().0);
+    }
+
+    /// The leakage of the array component scales essentially linearly
+    /// with capacity (between 1.5x and 2.5x per doubling — subarray
+    /// quantisation allows slack).
+    #[test]
+    fn array_leakage_tracks_capacity(size_log2 in 13u32..21, knobs in arb_knobs()) {
+        let tech = TechnologyNode::bptm65();
+        let leak = |bytes: u64| {
+            let c = CacheCircuit::new(CacheConfig::new(bytes, 64, 4).unwrap(), &tech);
+            c.analyze_component(ComponentId::MemoryArray, knobs).leakage.total().0
+        };
+        let ratio = leak(1 << (size_log2 + 1)) / leak(1 << size_log2);
+        prop_assert!((1.5..2.5).contains(&ratio), "ratio = {ratio}");
+    }
+
+    /// Access time is the exact sum of the four component delays.
+    #[test]
+    fn access_time_is_component_sum(config in arb_config(), knobs in arb_knobs()) {
+        let tech = TechnologyNode::bptm65();
+        let circuit = CacheCircuit::new(config, &tech);
+        let m = circuit.analyze(&ComponentKnobs::uniform(knobs));
+        let sum: f64 = COMPONENT_IDS.iter().map(|&id| m.component(id).delay.0).sum();
+        prop_assert!((m.access_time().0 - sum).abs() < 1e-18);
+    }
+
+    /// The organisation explorer never does worse than the default
+    /// heuristic folding on its own objective.
+    #[test]
+    fn explorer_beats_or_matches_heuristic(size_log2 in 13u32..21) {
+        let tech = TechnologyNode::bptm65();
+        let config = CacheConfig::new(1u64 << size_log2, 64, 4).unwrap();
+        let heuristic = CacheCircuit::new(config, &tech)
+            .analyze(&ComponentKnobs::uniform(KnobPoint::nominal()));
+        let found = best(config, &tech, Objective::AccessTime).expect("foldings exist");
+        prop_assert!(
+            found.metrics.access_time().0 <= heuristic.access_time().0 + 1e-15
+        );
+    }
+
+    /// Tag bits shrink as sets grow: tags + index + offset always equals
+    /// the address width.
+    #[test]
+    fn tag_index_offset_partition_address(config in arb_config()) {
+        let index_bits = config.sets().trailing_zeros();
+        let offset_bits = config.block_bytes().trailing_zeros();
+        prop_assert_eq!(
+            config.tag_bits() + index_bits + offset_bits,
+            nm_geometry::config::ADDRESS_BITS
+        );
+    }
+}

@@ -1,0 +1,202 @@
+//! Simulated-annealing cross-check for the exact solvers.
+//!
+//! The merge-based solver in [`crate::merge`] is exact for the additive
+//! model; this independent stochastic optimiser exists to validate it (and
+//! to handle any future non-additive extension). It walks over per-group
+//! candidate indices, accepting cost increases with Boltzmann probability
+//! and rejecting deadline violations via a quadratic penalty.
+
+use crate::{Candidate, Group};
+use nm_device::KnobPoint;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Annealing schedule parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnnealConfig {
+    /// Monte-Carlo steps.
+    pub steps: u32,
+    /// Initial temperature as a fraction of the initial cost.
+    pub initial_temperature: f64,
+    /// Geometric cooling rate per step.
+    pub cooling: f64,
+    /// Penalty weight for deadline violation (per second of violation,
+    /// squared, relative to the deadline).
+    pub penalty: f64,
+}
+
+impl Default for AnnealConfig {
+    fn default() -> Self {
+        AnnealConfig {
+            steps: 20_000,
+            initial_temperature: 0.5,
+            cooling: 0.9995,
+            penalty: 1e3,
+        }
+    }
+}
+
+/// An annealed solution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnnealSolution {
+    /// Chosen knob pair per group.
+    pub choice: Vec<KnobPoint>,
+    /// Achieved total delay (seconds).
+    pub delay: f64,
+    /// Achieved total cost.
+    pub cost: f64,
+    /// `true` when the deadline is met.
+    pub feasible: bool,
+}
+
+fn evaluate(groups: &[Group], idx: &[usize]) -> (f64, f64) {
+    let mut delay = 0.0;
+    let mut cost = 0.0;
+    for (g, &i) in groups.iter().zip(idx) {
+        let c: &Candidate = &g.candidates()[i];
+        delay += c.delay;
+        cost += c.cost;
+    }
+    (delay, cost)
+}
+
+/// Minimises total cost subject to `total delay ≤ deadline` by simulated
+/// annealing. Deterministic for a given seed.
+pub fn anneal(
+    groups: &[Group],
+    deadline: f64,
+    config: AnnealConfig,
+    seed: u64,
+) -> AnnealSolution {
+    assert!(!groups.is_empty(), "anneal needs at least one group");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Start from the slowest/cheapest candidate of each group if feasible,
+    // else the fastest.
+    let start_idx: Vec<usize> = groups
+        .iter()
+        .map(|g| {
+            let cands = g.candidates();
+            (0..cands.len())
+                .min_by(|&a, &b| {
+                    cands[a]
+                        .delay
+                        .partial_cmp(&cands[b].delay)
+                        .expect("finite delays")
+                })
+                .expect("non-empty group")
+        })
+        .collect();
+
+    let objective = |idx: &[usize]| {
+        let (delay, cost) = evaluate(groups, idx);
+        let violation = ((delay - deadline) / deadline).max(0.0);
+        cost * (1.0 + config.penalty * violation * violation)
+    };
+
+    let mut idx = start_idx;
+    let mut best_idx = idx.clone();
+    let mut current = objective(&idx);
+    let mut best = current;
+    let mut temperature = current.max(1e-30) * config.initial_temperature;
+
+    for _ in 0..config.steps {
+        // Propose: re-pick one group's candidate uniformly.
+        let g = rng.gen_range(0..groups.len());
+        let old = idx[g];
+        idx[g] = rng.gen_range(0..groups[g].candidates().len());
+        let proposed = objective(&idx);
+        let accept = proposed <= current || {
+            let p = ((current - proposed) / temperature.max(1e-300)).exp();
+            rng.gen::<f64>() < p
+        };
+        if accept {
+            current = proposed;
+            if proposed < best {
+                let (delay, _) = evaluate(groups, &idx);
+                if delay <= deadline {
+                    best = proposed;
+                    best_idx = idx.clone();
+                }
+            }
+        } else {
+            idx[g] = old;
+        }
+        temperature *= config.cooling;
+    }
+
+    let (delay, cost) = evaluate(groups, &best_idx);
+    AnnealSolution {
+        choice: best_idx
+            .iter()
+            .zip(groups)
+            .map(|(&i, g)| g.candidates()[i].knobs)
+            .collect(),
+        delay,
+        cost,
+        feasible: delay <= deadline,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::best_under_deadline;
+    use crate::merge::system_front;
+    use nm_device::units::{Angstroms, Volts};
+
+    fn k(vth: f64, tox: f64) -> KnobPoint {
+        KnobPoint::new(Volts(vth), Angstroms(tox)).unwrap()
+    }
+
+    fn grid_group(name: &str, scale: f64) -> Group {
+        let mut cands = Vec::new();
+        for i in 0..7 {
+            let vth = 0.2 + 0.05 * i as f64;
+            for j in 0..5 {
+                let tox = 10.0 + j as f64;
+                let delay = scale * (1.0 + 3.0 * vth + 0.08 * tox);
+                let cost = scale * ((-12.0 * vth).exp() * 80.0 + (-1.1 * (tox - 10.0)).exp() * 30.0);
+                cands.push(Candidate::new(k(vth, tox), delay, cost));
+            }
+        }
+        Group::new(name, cands)
+    }
+
+    #[test]
+    fn anneal_matches_exact_solver_within_tolerance() {
+        let groups = vec![grid_group("a", 1.0), grid_group("b", 1.7), grid_group("c", 0.6)];
+        let front = system_front(&groups);
+        for deadline in [8.5, 10.0, 12.0] {
+            let exact = best_under_deadline(&front, deadline).expect("feasible");
+            let approx = anneal(&groups, deadline, AnnealConfig::default(), 42);
+            assert!(approx.feasible, "deadline {deadline}");
+            assert!(
+                approx.cost >= exact.cost - 1e-9,
+                "annealing beat the exact optimum?!"
+            );
+            assert!(
+                approx.cost <= exact.cost * 1.05 + 1e-12,
+                "deadline {deadline}: anneal {} vs exact {}",
+                approx.cost,
+                exact.cost
+            );
+        }
+    }
+
+    #[test]
+    fn anneal_is_deterministic_per_seed() {
+        let groups = vec![grid_group("a", 1.0), grid_group("b", 2.0)];
+        let a = anneal(&groups, 8.0, AnnealConfig::default(), 7);
+        let b = anneal(&groups, 8.0, AnnealConfig::default(), 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn infeasible_deadline_reported() {
+        let groups = vec![grid_group("a", 1.0)];
+        let sol = anneal(&groups, 0.01, AnnealConfig::default(), 1);
+        assert!(!sol.feasible);
+    }
+}

@@ -1,0 +1,247 @@
+//! Exact system-front construction by pruned pairwise summation.
+//!
+//! For groups with additive delay and cost, the Pareto front of the whole
+//! system is the pruned Minkowski sum of the group fronts. Pruning after
+//! every pairwise merge keeps the intermediate fronts small, so the
+//! overall cost is far below the naive product of group sizes while the
+//! result stays exact: every non-dominated (delay, cost) combination
+//! survives, each carrying the knob choice that achieves it.
+
+use crate::pareto;
+use crate::{Candidate, Group};
+use nm_device::KnobPoint;
+use serde::{Deserialize, Serialize};
+
+/// One point of a system Pareto front.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrontPoint {
+    /// Total system delay (sum of group delays), seconds.
+    pub delay: f64,
+    /// Total system cost (sum of group costs).
+    pub cost: f64,
+    /// The knob pair chosen for each group, in input order.
+    pub choice: Vec<KnobPoint>,
+}
+
+/// Computes the exact Pareto front of a system of additive groups.
+///
+/// The returned points are sorted by ascending delay with strictly
+/// descending cost. Each point's `choice[i]` is the knob pair selected for
+/// `groups[i]`.
+///
+/// # Panics
+///
+/// Panics when `groups` is empty — a system needs at least one group.
+pub fn system_front(groups: &[Group]) -> Vec<FrontPoint> {
+    assert!(!groups.is_empty(), "system_front needs at least one group");
+
+    // Start from the first group's pruned front.
+    let first = groups[0].pruned();
+    let mut front: Vec<FrontPoint> = first
+        .candidates()
+        .iter()
+        .map(|c| FrontPoint {
+            delay: c.delay,
+            cost: c.cost,
+            choice: vec![c.knobs],
+        })
+        .collect();
+
+    for group in &groups[1..] {
+        let pruned = group.pruned();
+        let mut combined: Vec<(Candidate, usize)> =
+            Vec::with_capacity(front.len() * pruned.candidates().len());
+        for (i, fp) in front.iter().enumerate() {
+            for c in pruned.candidates() {
+                combined.push((
+                    Candidate::new(c.knobs, fp.delay + c.delay, fp.cost + c.cost),
+                    i,
+                ));
+            }
+        }
+        // Prune the combined set on (delay, cost) dominance, tracking the
+        // predecessor front point and appended knob for survivors.
+        combined.sort_by(|a, b| {
+            a.0.delay
+                .partial_cmp(&b.0.delay)
+                .expect("finite delays")
+                .then(a.0.cost.partial_cmp(&b.0.cost).expect("finite costs"))
+        });
+        let mut next: Vec<FrontPoint> = Vec::new();
+        for (c, i) in combined {
+            let keep = match next.last() {
+                Some(last) => c.cost < last.cost,
+                None => true,
+            };
+            if keep {
+                let mut choice = front[i].choice.clone();
+                choice.push(c.knobs);
+                next.push(FrontPoint {
+                    delay: c.delay,
+                    cost: c.cost,
+                    choice,
+                });
+            }
+        }
+        front = next;
+    }
+    front
+}
+
+/// Computes the front when every group is forced to share **one** knob
+/// pair (the paper's Scheme III, or any fully tied study).
+///
+/// Candidates are matched across groups by knob equality, so all groups
+/// must be built over the same grid.
+///
+/// # Panics
+///
+/// Panics when `groups` is empty.
+pub fn tied_front(groups: &[Group]) -> Vec<FrontPoint> {
+    assert!(!groups.is_empty(), "tied_front needs at least one group");
+    let mut sums: Vec<Candidate> = groups[0].candidates().to_vec();
+    for group in &groups[1..] {
+        assert_eq!(
+            group.candidates().len(),
+            sums.len(),
+            "tied groups must share one grid"
+        );
+        for (acc, c) in sums.iter_mut().zip(group.candidates()) {
+            assert_eq!(acc.knobs, c.knobs, "tied groups must share one grid");
+            acc.delay += c.delay;
+            acc.cost += c.cost;
+        }
+    }
+    pareto::prune(sums)
+        .into_iter()
+        .map(|c| FrontPoint {
+            delay: c.delay,
+            cost: c.cost,
+            choice: vec![c.knobs; groups.len()],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nm_device::units::{Angstroms, Volts};
+
+    fn k(vth: f64, tox: f64) -> KnobPoint {
+        KnobPoint::new(Volts(vth), Angstroms(tox)).unwrap()
+    }
+
+    fn group(name: &str, points: &[(f64, f64, f64, f64)]) -> Group {
+        Group::new(
+            name,
+            points
+                .iter()
+                .map(|&(vth, tox, d, c)| Candidate::new(k(vth, tox), d, c))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn single_group_front_is_its_pruned_candidates() {
+        let g = group("a", &[(0.2, 10.0, 1.0, 5.0), (0.3, 10.0, 2.0, 1.0), (0.4, 10.0, 3.0, 2.0)]);
+        let f = system_front(&[g]);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f[0].choice.len(), 1);
+    }
+
+    #[test]
+    fn two_group_merge_is_exhaustively_correct() {
+        // Compare against brute force over all pairs.
+        let ga = group(
+            "a",
+            &[(0.2, 10.0, 1.0, 9.0), (0.3, 10.0, 2.0, 4.0), (0.4, 10.0, 4.0, 1.0)],
+        );
+        let gb = group(
+            "b",
+            &[(0.2, 12.0, 1.5, 7.0), (0.3, 12.0, 3.0, 2.0), (0.5, 12.0, 5.0, 0.5)],
+        );
+        let front = system_front(&[ga.clone(), gb.clone()]);
+
+        // Brute force: every combination, then check front optimality for
+        // every deadline.
+        let mut combos = vec![];
+        for a in ga.candidates() {
+            for b in gb.candidates() {
+                combos.push((a.delay + b.delay, a.cost + b.cost));
+            }
+        }
+        for &(d, _) in &combos {
+            let best_brute = combos
+                .iter()
+                .filter(|&&(dd, _)| dd <= d + 1e-12)
+                .map(|&(_, cc)| cc)
+                .fold(f64::INFINITY, f64::min);
+            let best_front = front
+                .iter()
+                .filter(|p| p.delay <= d + 1e-12)
+                .map(|p| p.cost)
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                (best_brute - best_front).abs() < 1e-12,
+                "deadline {d}: brute {best_brute} vs front {best_front}"
+            );
+        }
+    }
+
+    #[test]
+    fn front_points_carry_consistent_choices() {
+        let ga = group("a", &[(0.2, 10.0, 1.0, 9.0), (0.4, 10.0, 4.0, 1.0)]);
+        let gb = group("b", &[(0.2, 12.0, 1.5, 7.0), (0.5, 12.0, 5.0, 0.5)]);
+        let front = system_front(&[ga.clone(), gb.clone()]);
+        for p in &front {
+            assert_eq!(p.choice.len(), 2);
+            // Recompute delay/cost from the chosen candidates.
+            let a = ga
+                .candidates()
+                .iter()
+                .find(|c| c.knobs == p.choice[0])
+                .unwrap();
+            let b = gb
+                .candidates()
+                .iter()
+                .find(|c| c.knobs == p.choice[1])
+                .unwrap();
+            assert!((a.delay + b.delay - p.delay).abs() < 1e-12);
+            assert!((a.cost + b.cost - p.cost).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn tied_front_shares_one_knob() {
+        let ga = group("a", &[(0.2, 10.0, 1.0, 9.0), (0.4, 10.0, 4.0, 1.0)]);
+        let gb = group("b", &[(0.2, 10.0, 1.5, 7.0), (0.4, 10.0, 5.0, 0.5)]);
+        let front = tied_front(&[ga, gb]);
+        for p in &front {
+            assert_eq!(p.choice[0], p.choice[1]);
+        }
+        // (0.2): delay 2.5 cost 16; (0.4): delay 9 cost 1.5 — both survive.
+        assert_eq!(front.len(), 2);
+    }
+
+    #[test]
+    fn untied_front_never_worse_than_tied() {
+        let ga = group("a", &[(0.2, 10.0, 1.0, 9.0), (0.4, 10.0, 4.0, 1.0)]);
+        let gb = group("b", &[(0.2, 10.0, 1.5, 7.0), (0.4, 10.0, 5.0, 0.5)]);
+        let tied = tied_front(&[ga.clone(), gb.clone()]);
+        let free = system_front(&[ga, gb]);
+        for t in &tied {
+            let best_free = free
+                .iter()
+                .filter(|p| p.delay <= t.delay + 1e-12)
+                .map(|p| p.cost)
+                .fold(f64::INFINITY, f64::min);
+            assert!(best_free <= t.cost + 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one group")]
+    fn empty_system_panics() {
+        let _ = system_front(&[]);
+    }
+}

@@ -1,0 +1,175 @@
+//! Pareto-dominance pruning on (delay, cost) candidate sets.
+
+use crate::Candidate;
+
+/// Sorts candidates by delay and removes every dominated one (another
+/// candidate at most as slow and strictly cheaper, or at most as
+/// expensive and strictly faster).
+///
+/// The result is sorted by ascending delay with strictly descending cost,
+/// which is what [`crate::constraint::best_under_deadline`] binary-searches
+/// over. Exact ties in both metrics keep the first occurrence.
+pub fn prune(mut candidates: Vec<Candidate>) -> Vec<Candidate> {
+    candidates.sort_by(|a, b| {
+        a.delay
+            .partial_cmp(&b.delay)
+            .expect("finite delays")
+            .then(a.cost.partial_cmp(&b.cost).expect("finite costs"))
+    });
+    let mut front: Vec<Candidate> = Vec::with_capacity(candidates.len());
+    for c in candidates {
+        match front.last() {
+            Some(last) if c.cost >= last.cost => {
+                // Slower (or equal) and at least as expensive: dominated.
+            }
+            _ => front.push(c),
+        }
+    }
+    front
+}
+
+/// `true` when `a` dominates `b` (no worse on both axes, better on one).
+pub fn dominates(a: &Candidate, b: &Candidate) -> bool {
+    (a.delay <= b.delay && a.cost < b.cost) || (a.delay < b.delay && a.cost <= b.cost)
+}
+
+/// ε-pruning: like [`prune`], then thins the frontier so consecutive
+/// survivors differ by at least a relative `eps` in delay *or* cost.
+///
+/// Bounds the front size for very fine grids at a bounded optimality
+/// loss: for any deadline, the ε-front contains a point whose cost is
+/// within a factor `(1 + eps)` of the exact front's optimum at a deadline
+/// within `(1 + eps)` of the requested one. The fastest and cheapest
+/// points always survive.
+///
+/// # Panics
+///
+/// Panics for negative or non-finite `eps` (`eps = 0` degenerates to
+/// exact pruning).
+pub fn prune_epsilon(candidates: Vec<Candidate>, eps: f64) -> Vec<Candidate> {
+    assert!(
+        eps.is_finite() && eps >= 0.0,
+        "epsilon must be non-negative, got {eps}"
+    );
+    let exact = prune(candidates);
+    if eps == 0.0 || exact.len() <= 2 {
+        return exact;
+    }
+    let mut out: Vec<Candidate> = Vec::with_capacity(exact.len());
+    let last_index = exact.len() - 1;
+    for (i, c) in exact.iter().enumerate() {
+        if i == 0 || i == last_index {
+            out.push(*c);
+            continue;
+        }
+        let kept = out.last().expect("first element always kept");
+        let delay_gap = (c.delay - kept.delay) / kept.delay.max(f64::MIN_POSITIVE);
+        let cost_gap = (kept.cost - c.cost) / c.cost.max(f64::MIN_POSITIVE);
+        if delay_gap >= eps || cost_gap >= eps {
+            out.push(*c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nm_device::KnobPoint;
+
+    fn c(delay: f64, cost: f64) -> Candidate {
+        Candidate::new(KnobPoint::nominal(), delay, cost)
+    }
+
+    #[test]
+    fn prune_keeps_frontier_sorted() {
+        let front = prune(vec![c(3.0, 1.0), c(1.0, 3.0), c(2.0, 2.0), c(2.5, 2.5)]);
+        assert_eq!(front.len(), 3);
+        for w in front.windows(2) {
+            assert!(w[0].delay < w[1].delay);
+            assert!(w[0].cost > w[1].cost);
+        }
+    }
+
+    #[test]
+    fn prune_removes_dominated() {
+        let front = prune(vec![c(1.0, 1.0), c(2.0, 2.0), c(0.5, 5.0)]);
+        assert_eq!(front.len(), 2);
+        assert!(front.iter().all(|p| p.delay != 2.0));
+    }
+
+    #[test]
+    fn prune_handles_exact_ties() {
+        let front = prune(vec![c(1.0, 1.0), c(1.0, 1.0), c(1.0, 2.0)]);
+        assert_eq!(front.len(), 1);
+    }
+
+    #[test]
+    fn prune_single_and_empty() {
+        assert_eq!(prune(vec![]).len(), 0);
+        assert_eq!(prune(vec![c(1.0, 1.0)]).len(), 1);
+    }
+
+    #[test]
+    fn dominance_relation() {
+        assert!(dominates(&c(1.0, 1.0), &c(2.0, 2.0)));
+        assert!(dominates(&c(1.0, 1.0), &c(1.0, 2.0)));
+        assert!(dominates(&c(1.0, 1.0), &c(2.0, 1.0)));
+        assert!(!dominates(&c(1.0, 1.0), &c(1.0, 1.0)));
+        assert!(!dominates(&c(1.0, 3.0), &c(2.0, 1.0)));
+    }
+
+    #[test]
+    fn epsilon_pruning_thins_but_keeps_endpoints() {
+        let cands: Vec<Candidate> = (0..1000)
+            .map(|i| {
+                let x = 1.0 + i as f64 * 0.001;
+                c(x, 2.0 / x)
+            })
+            .collect();
+        let exact = prune(cands.clone());
+        let thinned = prune_epsilon(cands, 0.05);
+        assert!(thinned.len() < exact.len() / 5, "{} vs {}", thinned.len(), exact.len());
+        assert_eq!(thinned.first().unwrap().delay, exact.first().unwrap().delay);
+        assert_eq!(thinned.last().unwrap().delay, exact.last().unwrap().delay);
+        // Bounded loss: every exact point has an ε-neighbour no more than
+        // (1+eps) worse on both axes.
+        for e in &exact {
+            let ok = thinned.iter().any(|t| {
+                t.delay <= e.delay * 1.05 + 1e-12 && t.cost <= e.cost * 1.05 + 1e-12
+            });
+            assert!(ok, "point ({}, {}) uncovered", e.delay, e.cost);
+        }
+    }
+
+    #[test]
+    fn epsilon_zero_is_exact() {
+        let cands = vec![c(1.0, 3.0), c(2.0, 2.0), c(3.0, 1.0)];
+        assert_eq!(prune_epsilon(cands.clone(), 0.0), prune(cands));
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be non-negative")]
+    fn negative_epsilon_panics() {
+        let _ = prune_epsilon(vec![c(1.0, 1.0)], -0.1);
+    }
+
+    #[test]
+    fn no_front_point_dominates_another() {
+        let front = prune(
+            (0..100)
+                .map(|i| {
+                    let x = i as f64;
+                    c((x * 7.3) % 13.0, (x * 3.1) % 11.0)
+                })
+                .collect(),
+        );
+        for (i, a) in front.iter().enumerate() {
+            for (j, b) in front.iter().enumerate() {
+                if i != j {
+                    assert!(!dominates(a, b), "{i} dominates {j}");
+                }
+            }
+        }
+    }
+}

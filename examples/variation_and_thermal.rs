@@ -1,0 +1,43 @@
+//! Will the paper's optimum survive real silicon? (Extensions X1/X2.)
+//!
+//! ```text
+//! cargo run --release --example variation_and_thermal
+//! ```
+//!
+//! Takes the Scheme II optimum of the 16 KB cache and stresses it two
+//! ways: die-to-die process variation (Monte-Carlo over `Vth`/`Tox`
+//! corners) and operating-temperature excursions, reporting what a
+//! designer would guard-band for.
+
+use nmcache::core::thermal::ThermalStudy;
+use nmcache::core::variation::paper_16kb_variation;
+use nmcache::device::units::Volts;
+use nmcache::device::variation::subthreshold_amplification;
+use nmcache::device::TechnologyNode;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Variation -------------------------------------------------------
+    let vs = paper_16kb_variation(300, 65)?;
+    let deadlines: Vec<_> = vs.study().delay_sweep(7).into_iter().skip(2).collect();
+    println!("{}", vs.to_table(&deadlines));
+
+    let tech = TechnologyNode::bptm65();
+    let n_vt = Volts(tech.subthreshold_n(nmcache::device::units::Angstroms(12.0))
+        * tech.thermal_voltage().0);
+    println!(
+        "analytic lognormal mean uplift at σVth = 20 mV: {:.1}%",
+        (subthreshold_amplification(Volts(0.020), n_vt) - 1.0) * 100.0
+    );
+    println!("note the ~50-60% timing yield when the optimum sits on its");
+    println!("constraint — real flows guard-band the deadline by ~2σ.\n");
+
+    // --- Temperature -------------------------------------------------------
+    let thermal = ThermalStudy::paper_16kb()?;
+    for slack in [0.15, 0.40] {
+        println!("{}", thermal.to_table(slack));
+    }
+    println!("the gate-tunnelling fraction rises as the die cools: subthreshold");
+    println!("collapses with temperature, the Tox-set gate floor does not —");
+    println!("total-leakage optimisation (the paper's point) is what survives.");
+    Ok(())
+}

@@ -1,0 +1,353 @@
+//! Command-line parsing for the `nmcache` binary.
+//!
+//! Hand-rolled (no CLI dependency): a subcommand followed by `--flag
+//! value` pairs. See [`USAGE`] for the full surface.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Usage text printed on `--help` or a parse error.
+pub const USAGE: &str = "\
+nmcache — power-performance trade-offs in nanometer-scale multi-level caches
+
+USAGE: nmcache <COMMAND> [OPTIONS]
+
+COMMANDS:
+  list                 List every reproducible experiment
+  fig1                 Figure 1: fixed-Vth vs fixed-Tox curves (16 KB)
+  fig2                 Figure 2: (Tox, Vth) tuple problem energy curves
+  schemes              Section 4: scheme I/II/III comparison
+  l2-sweep             Section 5: L2 size sweep at iso-AMAT
+  l1-sweep             Section 5: L1 size sweep at iso-AMAT
+  ablation             Section 4: single-knob ablation
+  fit                  Section 3: Eq.1/Eq.2 surface-fit quality
+  explore              Rank subarray foldings of a cache (CACTI-style)
+  missrates            Print the simulated miss-rate table
+  variation            Extension: leakage under die-to-die variation
+  thermal              Extension: temperature sensitivity
+  decay                Extension: process knobs vs cache decay (gated-Vdd)
+  split-l1             Extension: split I$/D$ vs unified L1
+  trace-sim            Replay a trace file through an L1/L2 hierarchy
+
+OPTIONS:
+  --quick              Shorter architectural simulations (tests/smoke)
+  --slack <FRACTION>   AMAT slack over the best corner (default 0.15)
+  --scheme <NAME>      uniform | split | per-component (default uniform)
+  --steps <N>          Sweep steps (default 8)
+  --samples <N>        Monte-Carlo samples (default 400)
+  --suite <NAME>       Workload suite: spec2000 | tpcc | specweb | pointer-chase
+  --csv <PATH>         Also write the result table as CSV
+  --trace <PATH>       Trace file for trace-sim
+  --l1 <KB>            L1 size in KB (default 16)
+  --l2 <KB>            L2 size in KB (default 1024)
+  -h, --help           Show this help
+";
+
+/// A parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Figure 1 curves.
+    Fig1(Options),
+    /// Figure 2 tuple curves.
+    Fig2(Options),
+    /// Scheme comparison table.
+    Schemes(Options),
+    /// L2 size sweep.
+    L2Sweep(Options),
+    /// L1 size sweep.
+    L1Sweep(Options),
+    /// Single-knob ablation.
+    Ablation(Options),
+    /// Surface-fit report.
+    Fit(Options),
+    /// Organisation exploration.
+    Explore(Options),
+    /// Miss-rate table dump.
+    MissRates(Options),
+    /// Variation study.
+    Variation(Options),
+    /// Temperature study.
+    Thermal(Options),
+    /// Knobs-vs-decay study.
+    Decay(Options),
+    /// Split I$/D$ study.
+    SplitL1(Options),
+    /// Trace replay.
+    TraceSim(Options),
+    /// Experiment registry listing.
+    List,
+    /// Help requested.
+    Help,
+}
+
+/// Assignment scheme selector (mirrors `nm_cache_core::groups::Scheme`
+/// without importing it here, keeping the parser dependency-free).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchemeArg {
+    /// One pair for the whole cache.
+    #[default]
+    Uniform,
+    /// Cell-array/periphery pairs.
+    Split,
+    /// Independent per-component pairs.
+    PerComponent,
+}
+
+/// Common options across subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Options {
+    /// Shorter simulations.
+    pub quick: bool,
+    /// AMAT slack fraction.
+    pub slack: f64,
+    /// Assignment scheme.
+    pub scheme: SchemeArg,
+    /// Sweep steps.
+    pub steps: usize,
+    /// Monte-Carlo samples.
+    pub samples: usize,
+    /// Workload suite name (resolved by the runner; `None` = default).
+    pub suite: Option<String>,
+    /// CSV output path.
+    pub csv: Option<PathBuf>,
+    /// Trace file path.
+    pub trace: Option<PathBuf>,
+    /// L1 size in bytes.
+    pub l1_bytes: u64,
+    /// L2 size in bytes.
+    pub l2_bytes: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            quick: false,
+            slack: 0.15,
+            scheme: SchemeArg::default(),
+            steps: 8,
+            samples: 400,
+            suite: None,
+            csv: None,
+            trace: None,
+            l1_bytes: 16 * 1024,
+            l2_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Parses the argument list (without the program name).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing the first unknown command, unknown
+/// flag, or malformed value.
+pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, CliError> {
+    let mut args = args.into_iter();
+    let Some(cmd) = args.next() else {
+        return Ok(Command::Help);
+    };
+    if cmd == "-h" || cmd == "--help" || cmd == "help" {
+        return Ok(Command::Help);
+    }
+
+    let mut opts = Options::default();
+    let rest: Vec<String> = args.collect();
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, CliError> {
+        *i += 1;
+        rest.get(*i)
+            .cloned()
+            .ok_or_else(|| CliError(format!("flag {flag} needs a value")))
+    };
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--quick" => opts.quick = true,
+            "-h" | "--help" => return Ok(Command::Help),
+            "--slack" => {
+                let v = value(&mut i, "--slack")?;
+                opts.slack = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad --slack value {v:?}")))?;
+                if !(0.0..=10.0).contains(&opts.slack) {
+                    return Err(CliError(format!("--slack {v} out of range [0, 10]")));
+                }
+            }
+            "--scheme" => {
+                opts.scheme = match value(&mut i, "--scheme")?.as_str() {
+                    "uniform" | "iii" | "III" => SchemeArg::Uniform,
+                    "split" | "ii" | "II" => SchemeArg::Split,
+                    "per-component" | "i" | "I" => SchemeArg::PerComponent,
+                    other => return Err(CliError(format!("unknown scheme {other:?}"))),
+                };
+            }
+            "--steps" => {
+                let v = value(&mut i, "--steps")?;
+                opts.steps = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad --steps value {v:?}")))?;
+                if opts.steps == 0 {
+                    return Err(CliError("--steps must be positive".into()));
+                }
+            }
+            "--samples" => {
+                let v = value(&mut i, "--samples")?;
+                opts.samples = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad --samples value {v:?}")))?;
+                if opts.samples == 0 {
+                    return Err(CliError("--samples must be positive".into()));
+                }
+            }
+            "--suite" => opts.suite = Some(value(&mut i, "--suite")?),
+            "--csv" => opts.csv = Some(PathBuf::from(value(&mut i, "--csv")?)),
+            "--trace" => opts.trace = Some(PathBuf::from(value(&mut i, "--trace")?)),
+            "--l1" => {
+                let v = value(&mut i, "--l1")?;
+                let kb: u64 = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad --l1 value {v:?}")))?;
+                opts.l1_bytes = kb * 1024;
+            }
+            "--l2" => {
+                let v = value(&mut i, "--l2")?;
+                let kb: u64 = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad --l2 value {v:?}")))?;
+                opts.l2_bytes = kb * 1024;
+            }
+            other => return Err(CliError(format!("unknown flag {other:?}"))),
+        }
+        i += 1;
+    }
+
+    let command = match cmd.as_str() {
+        "list" => Command::List,
+        "fig1" => Command::Fig1(opts),
+        "fig2" => Command::Fig2(opts),
+        "schemes" => Command::Schemes(opts),
+        "l2-sweep" => Command::L2Sweep(opts),
+        "l1-sweep" => Command::L1Sweep(opts),
+        "ablation" => Command::Ablation(opts),
+        "fit" => Command::Fit(opts),
+        "explore" => Command::Explore(opts),
+        "missrates" => Command::MissRates(opts),
+        "variation" => Command::Variation(opts),
+        "thermal" => Command::Thermal(opts),
+        "decay" => Command::Decay(opts),
+        "split-l1" => Command::SplitL1(opts),
+        "trace-sim" => {
+            if opts.trace.is_none() {
+                return Err(CliError("trace-sim requires --trace <PATH>".into()));
+            }
+            Command::TraceSim(opts)
+        }
+        other => return Err(CliError(format!("unknown command {other:?}"))),
+    };
+    Ok(command)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_str(s: &str) -> Result<Command, CliError> {
+        parse(s.split_whitespace().map(str::to_owned))
+    }
+
+    #[test]
+    fn list_parses() {
+        assert_eq!(parse_str("list"), Ok(Command::List));
+    }
+
+    #[test]
+    fn no_args_is_help() {
+        assert_eq!(parse_str(""), Ok(Command::Help));
+        assert_eq!(parse_str("--help"), Ok(Command::Help));
+        assert_eq!(parse_str("fig1 --help"), Ok(Command::Help));
+    }
+
+    #[test]
+    fn subcommands_parse_with_defaults() {
+        match parse_str("fig1").unwrap() {
+            Command::Fig1(o) => {
+                assert!(!o.quick);
+                assert_eq!(o.l1_bytes, 16 * 1024);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn flags_apply() {
+        match parse_str("l2-sweep --scheme split --slack 0.08 --quick --l1 32").unwrap() {
+            Command::L2Sweep(o) => {
+                assert_eq!(o.scheme, SchemeArg::Split);
+                assert!((o.slack - 0.08).abs() < 1e-12);
+                assert!(o.quick);
+                assert_eq!(o.l1_bytes, 32 * 1024);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn scheme_numerals_accepted() {
+        match parse_str("schemes --scheme I").unwrap() {
+            Command::Schemes(o) => assert_eq!(o.scheme, SchemeArg::PerComponent),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknowns_and_bad_values() {
+        assert!(parse_str("bogus").is_err());
+        assert!(parse_str("fig1 --wat").is_err());
+        assert!(parse_str("fig1 --slack nope").is_err());
+        assert!(parse_str("fig1 --slack").is_err());
+        assert!(parse_str("fig1 --steps 0").is_err());
+        assert!(parse_str("fig1 --slack 99").is_err());
+        assert!(parse_str("l2-sweep --scheme bogus").is_err());
+    }
+
+    #[test]
+    fn trace_sim_requires_trace() {
+        assert!(parse_str("trace-sim").is_err());
+        match parse_str("trace-sim --trace t.txt --l2 512").unwrap() {
+            Command::TraceSim(o) => {
+                assert_eq!(o.trace.unwrap(), PathBuf::from("t.txt"));
+                assert_eq!(o.l2_bytes, 512 * 1024);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn extension_commands_parse() {
+        assert!(matches!(parse_str("decay").unwrap(), Command::Decay(_)));
+        assert!(matches!(parse_str("split-l1 --l2 512").unwrap(), Command::SplitL1(_)));
+        match parse_str("decay --suite tpcc").unwrap() {
+            Command::Decay(o) => assert_eq!(o.suite.as_deref(), Some("tpcc")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn csv_path_captured() {
+        match parse_str("fit --csv out.csv").unwrap() {
+            Command::Fit(o) => assert_eq!(o.csv.unwrap(), PathBuf::from("out.csv")),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! `nmcache` — reproduce the DATE 2005 experiments from the command line.
+
+use nmcache::archsim::cache::{CacheParams, Replacement};
+use nmcache::archsim::hierarchy::TwoLevel;
+use nmcache::archsim::trace::{read_trace, read_trace_binary, TraceWorkload, BINARY_MAGIC};
+use nmcache::archsim::workload::{SuiteKind, Workload};
+use nmcache::archsim::MissRateTable;
+use nmcache::cli::{self, Command, Options, SchemeArg};
+use nmcache::core::amat::MainMemory;
+use nmcache::core::decay::DecayStudy;
+use nmcache::core::splitl1::SplitL1Study;
+use nmcache::core::fitcheck::fit_report;
+use nmcache::core::groups::Scheme;
+use nmcache::core::memsys::{MemorySystemStudy, TupleCounts};
+use nmcache::core::report::{cell, Series, Table};
+use nmcache::core::single::SingleCacheStudy;
+use nmcache::core::thermal::ThermalStudy;
+use nmcache::core::twolevel::{TwoLevelStudy, STANDARD_SUITES};
+use nmcache::core::variation::{paper_16kb_variation, VariationStudy};
+use nmcache::device::{KnobGrid, TechnologyNode};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let command = match cli::parse(std::env::args().skip(1)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", cli::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(command) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn suite_of(opts: &Options) -> Result<SuiteKind, Box<dyn std::error::Error>> {
+    match &opts.suite {
+        None => Ok(SuiteKind::Spec2000),
+        Some(name) => SuiteKind::from_name(name)
+            .ok_or_else(|| format!("unknown suite {name:?}").into()),
+    }
+}
+
+fn scheme_of(arg: SchemeArg) -> Scheme {
+    match arg {
+        SchemeArg::Uniform => Scheme::Uniform,
+        SchemeArg::Split => Scheme::Split,
+        SchemeArg::PerComponent => Scheme::PerComponent,
+    }
+}
+
+fn emit(table: &Table, opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    println!("{table}");
+    if let Some(path) = &opts.csv {
+        table.write_csv(path)?;
+        println!("[csv] {}", path.display());
+    }
+    Ok(())
+}
+
+fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
+    match command {
+        Command::Help => {
+            println!("{}", cli::USAGE);
+            Ok(())
+        }
+        Command::List => {
+            println!("{}", nmcache::core::experiments::registry_table());
+            Ok(())
+        }
+        Command::Fig1(opts) => {
+            let study = SingleCacheStudy::paper_16kb()?;
+            let series = study.fixed_knob_curves();
+            println!(
+                "{}",
+                nmcache::core::plot::ascii_plot(&series, 72, 22, "access time (ps)", "leakage (mW)")
+            );
+            let table = Series::to_table(
+                &series,
+                "Figure 1: fixed Vth vs fixed Tox (16KB)",
+                "access time (ps)",
+                "leakage (mW)",
+            );
+            emit(&table, &opts)
+        }
+        Command::Fig2(opts) => {
+            let missrates = build_missrates(&[opts.l1_bytes], &[opts.l2_bytes], opts.quick);
+            let stats = *missrates
+                .get(opts.l1_bytes, opts.l2_bytes)
+                .expect("pair just simulated");
+            let study = MemorySystemStudy::new(
+                opts.l1_bytes,
+                opts.l2_bytes,
+                stats,
+                &TechnologyNode::bptm65(),
+                KnobGrid::coarse(),
+                MainMemory::default(),
+            )?;
+            let targets = study.amat_sweep(opts.steps);
+            let curves = study.tuple_curves(&TupleCounts::FIGURE2, &targets);
+            println!(
+                "{}",
+                nmcache::core::plot::ascii_plot(&curves, 72, 22, "AMAT (ps)", "total energy (pJ)")
+            );
+            emit(&study.tuple_table(&TupleCounts::FIGURE2, &targets), &opts)
+        }
+        Command::Schemes(opts) => {
+            let study = SingleCacheStudy::paper_16kb()?;
+            let deadlines: Vec<_> = study.delay_sweep(opts.steps + 1).into_iter().skip(1).collect();
+            emit(&study.scheme_comparison(&deadlines), &opts)
+        }
+        Command::Ablation(opts) => {
+            let study = SingleCacheStudy::paper_16kb()?;
+            let deadlines: Vec<_> = study.delay_sweep(opts.steps + 2).into_iter().skip(2).collect();
+            emit(&study.knob_ablation(&deadlines), &opts)
+        }
+        Command::Fit(opts) => {
+            let tech = TechnologyNode::bptm65();
+            let circuit = nmcache::geometry::CacheCircuit::new(
+                nmcache::geometry::CacheConfig::new(opts.l1_bytes, 64, 4)?,
+                &tech,
+            );
+            emit(&fit_report(&circuit, &KnobGrid::paper())?, &opts)
+        }
+        Command::Explore(opts) => {
+            let tech = TechnologyNode::bptm65();
+            let config = nmcache::geometry::CacheConfig::new(opts.l1_bytes, 64, 4)?;
+            let ranked = nmcache::geometry::explore::explore(
+                config,
+                &tech,
+                nmcache::geometry::explore::Objective::EnergyDelay,
+            );
+            let mut table = Table::new(
+                format!("Subarray foldings of {config}, ranked by energy-delay product"),
+                &["rows", "cols", "mats", "access (ps)", "read (pJ)", "leak (mW)"],
+            );
+            for e in ranked.iter().take(opts.steps) {
+                table.push_row(vec![
+                    e.org.rows.to_string(),
+                    e.org.cols.to_string(),
+                    e.org.subarrays.to_string(),
+                    cell(e.metrics.access_time().picos(), 0),
+                    cell(e.metrics.read_energy().picos(), 2),
+                    cell(e.metrics.leakage().total().milli(), 3),
+                ]);
+            }
+            emit(&table, &opts)
+        }
+        Command::L2Sweep(opts) => {
+            let study = TwoLevelStudy::standard(opts.quick);
+            let l2_sizes = TwoLevelStudy::standard_l2_sizes();
+            let target = study.amat_target(opts.l1_bytes, &l2_sizes, opts.slack)?;
+            let sweep = study.l2_size_sweep(
+                opts.l1_bytes,
+                &l2_sizes,
+                scheme_of(opts.scheme),
+                target,
+            )?;
+            emit(&sweep.to_table(), &opts)?;
+            if let Some(w) = sweep.winner() {
+                println!("winner: {} KB", w.size_bytes / 1024);
+            }
+            Ok(())
+        }
+        Command::L1Sweep(opts) => {
+            let study = TwoLevelStudy::standard(opts.quick);
+            let l1_sizes = TwoLevelStudy::standard_l1_sizes();
+            let mut best = f64::INFINITY;
+            for &l1 in &l1_sizes {
+                best = best.min(study.min_amat_l1_fixed(l1, opts.l2_bytes)?.0);
+            }
+            let target = nmcache::device::units::Seconds(best * (1.0 + opts.slack));
+            let sweep = study.l1_size_sweep(&l1_sizes, opts.l2_bytes, target)?;
+            emit(&sweep.to_table(), &opts)?;
+            if let Some(w) = sweep.winner() {
+                println!("winner: {} KB", w.size_bytes / 1024);
+            }
+            Ok(())
+        }
+        Command::MissRates(opts) => {
+            let table = build_missrates(
+                &TwoLevelStudy::standard_l1_sizes(),
+                &TwoLevelStudy::standard_l2_sizes(),
+                opts.quick,
+            );
+            let mut out = Table::new(
+                format!("Miss rates averaged over {:?}", table.suites()),
+                &["L1 (KB)", "L2 (KB)", "m1", "m2", "global"],
+            );
+            for (&(l1, l2), s) in table.iter() {
+                out.push_row(vec![
+                    cell(l1 as f64 / 1024.0, 0),
+                    cell(l2 as f64 / 1024.0, 0),
+                    cell(s.l1_miss_rate, 4),
+                    cell(s.l2_local_miss_rate, 4),
+                    cell(s.global_miss_rate(), 5),
+                ]);
+            }
+            emit(&out, &opts)
+        }
+        Command::Variation(opts) => {
+            let vs: VariationStudy = paper_16kb_variation(opts.samples, 65)?;
+            let deadlines: Vec<_> = vs.study().delay_sweep(opts.steps).into_iter().skip(2).collect();
+            emit(&vs.to_table(&deadlines), &opts)
+        }
+        Command::Thermal(opts) => {
+            let study = ThermalStudy::paper_16kb()?;
+            emit(&study.to_table(opts.slack), &opts)
+        }
+        Command::Decay(opts) => {
+            let single = SingleCacheStudy::paper_16kb()?;
+            let study = DecayStudy::new(single, suite_of(&opts)?, 300_000);
+            let deadline = study.study().delay_sweep(5)[2] * (1.0 + opts.slack - 0.15);
+            emit(&study.to_table(deadline), &opts)
+        }
+        Command::SplitL1(opts) => {
+            let study = SplitL1Study::new(
+                opts.l1_bytes,
+                opts.l1_bytes,
+                opts.l2_bytes,
+                suite_of(&opts)?,
+                if opts.quick { 150_000 } else { 500_000 },
+                KnobGrid::paper(),
+            )?;
+            emit(&study.to_table(&[0.08, opts.slack, 0.30]), &opts)
+        }
+        Command::TraceSim(opts) => {
+            let path = opts.trace.as_ref().expect("validated by the parser");
+            let bytes = std::fs::read(path)?;
+            // Auto-detect the compact binary format by its magic.
+            let trace = if bytes.starts_with(&BINARY_MAGIC) {
+                read_trace_binary(bytes.as_slice())?
+            } else {
+                read_trace(bytes.as_slice())?
+            };
+            println!("{}: {} references", path.display(), trace.len());
+            let mut workload = TraceWorkload::new(trace);
+            let mut h = TwoLevel::new(
+                CacheParams::new(opts.l1_bytes, 64, 4)?,
+                CacheParams::new(opts.l2_bytes, 64, 8)?,
+                Replacement::Lru,
+            );
+            let n = (workload.len() as u64).max(1);
+            for _ in 0..n {
+                h.access(workload.next_access());
+            }
+            let s = h.stats();
+            let mut table = Table::new(
+                format!(
+                    "Trace replay, L1 {} KB / L2 {} KB",
+                    opts.l1_bytes / 1024,
+                    opts.l2_bytes / 1024
+                ),
+                &["references", "m1", "m2", "global", "L1 writebacks"],
+            );
+            table.push_row(vec![
+                n.to_string(),
+                cell(s.l1_miss_rate(), 4),
+                cell(s.l2_local_miss_rate(), 4),
+                cell(s.l2_global_miss_rate(), 5),
+                s.l1_writebacks.to_string(),
+            ]);
+            emit(&table, &opts)
+        }
+    }
+}
+
+fn build_missrates(l1_sizes: &[u64], l2_sizes: &[u64], quick: bool) -> MissRateTable {
+    let (warmup, measure) = if quick {
+        (50_000, 100_000)
+    } else {
+        (300_000, 600_000)
+    };
+    MissRateTable::build(l1_sizes, l2_sizes, &STANDARD_SUITES, 2005, warmup, measure)
+}

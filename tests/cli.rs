@@ -1,0 +1,121 @@
+//! End-to-end tests of the `nmcache` binary (spawned as a subprocess).
+
+use std::process::Command;
+
+fn nmcache() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_nmcache"))
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    let out = nmcache().arg("--help").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("fig1"));
+    assert!(text.contains("trace-sim"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = nmcache().arg("frobnicate").output().expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown command"));
+    assert!(err.contains("USAGE"));
+}
+
+#[test]
+fn fig1_writes_csv() {
+    let dir = std::env::temp_dir().join("nmcache-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let csv = dir.join("fig1.csv");
+    let out = nmcache()
+        .args(["fig1", "--csv"])
+        .arg(&csv)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Tox=10A"));
+    assert!(text.contains("Vth=400mV"));
+    let written = std::fs::read_to_string(&csv).expect("csv written");
+    assert!(written.starts_with("series,"));
+    assert!(written.lines().count() > 40);
+}
+
+#[test]
+fn fit_reports_high_r_squared() {
+    let out = nmcache().arg("fit").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("memory-array"));
+    // Every R² cell should be ≥ 0.9x.
+    assert!(text.contains("0.9"), "{text}");
+}
+
+#[test]
+fn trace_sim_replays_a_file() {
+    let dir = std::env::temp_dir().join("nmcache-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace = dir.join("t.trace");
+    std::fs::write(&trace, "# demo\nR 0x40\nW 0x80\nR 0x40\n").expect("trace written");
+    let out = nmcache()
+        .args(["trace-sim", "--l1", "8", "--l2", "256", "--trace"])
+        .arg(&trace)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("3 references"));
+    assert!(text.contains("Trace replay"));
+}
+
+#[test]
+fn trace_sim_reports_malformed_traces() {
+    let dir = std::env::temp_dir().join("nmcache-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace = dir.join("bad.trace");
+    std::fs::write(&trace, "R 0x40\nBOGUS LINE\n").expect("trace written");
+    let out = nmcache()
+        .args(["trace-sim", "--trace"])
+        .arg(&trace)
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("line 2"), "{err}");
+}
+
+#[test]
+fn explore_ranks_foldings() {
+    let out = nmcache()
+        .args(["explore", "--l1", "32", "--steps", "3"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Subarray foldings"));
+    assert!(text.contains("mats"));
+    // At least the three requested rows of numbers.
+    assert!(text.lines().filter(|l| l.contains('.')).count() >= 3);
+}
+
+#[test]
+fn unknown_suite_is_rejected() {
+    let out = nmcache()
+        .args(["decay", "--suite", "bogus"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown suite"));
+}
+
+#[test]
+fn thermal_runs_quickly_end_to_end() {
+    let out = nmcache().arg("thermal").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Temperature sensitivity"));
+    assert!(text.contains("gate fraction"));
+}
