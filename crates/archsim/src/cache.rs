@@ -34,11 +34,7 @@ impl CacheParams {
     /// [`SimError::NotPowerOfTwo`] for non-power-of-two inputs;
     /// [`SimError::InconsistentShape`] when the shape has no sets.
     pub fn new(size_bytes: u64, block_bytes: u64, ways: u64) -> Result<Self, SimError> {
-        for (which, value) in [
-            ("size", size_bytes),
-            ("block", block_bytes),
-            ("ways", ways),
-        ] {
+        for (which, value) in [("size", size_bytes), ("block", block_bytes), ("ways", ways)] {
             if value == 0 || !value.is_power_of_two() {
                 return Err(SimError::NotPowerOfTwo { which, value });
             }
@@ -362,11 +358,21 @@ mod tests {
         let stride = 64 * c.params().sets();
         c.access(Access::write(0));
         let out = c.access(Access::read(stride)); // evicts dirty line 0
-        assert_eq!(out, Outcome::Miss { victim_writeback: true });
+        assert_eq!(
+            out,
+            Outcome::Miss {
+                victim_writeback: true
+            }
+        );
         assert_eq!(c.stats().writebacks, 1);
         // Clean eviction produces no writeback.
         let out = c.access(Access::read(2 * stride));
-        assert_eq!(out, Outcome::Miss { victim_writeback: false });
+        assert_eq!(
+            out,
+            Outcome::Miss {
+                victim_writeback: false
+            }
+        );
         assert_eq!(c.stats().writebacks, 1);
     }
 

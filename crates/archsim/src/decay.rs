@@ -146,8 +146,7 @@ impl DecaySim {
             if self.lines[i].valid && self.lines[i].tag == tag {
                 let decayed = self.tick - self.lines[i].last_touch > self.decay_interval;
                 // Close out the alive window since the last touch.
-                self.stats.alive_ticks +=
-                    (tick - self.lines[i].last_touch).min(interval) as u128;
+                self.stats.alive_ticks += (tick - self.lines[i].last_touch).min(interval) as u128;
                 if decayed {
                     // The contents were lost: refetch (a decay miss), but
                     // the frame is reused in place.

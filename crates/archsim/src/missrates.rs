@@ -4,6 +4,7 @@
 use crate::cache::{CacheParams, Replacement};
 use crate::hierarchy::TwoLevel;
 use crate::workload::{SuiteKind, Workload};
+use nm_sweep::ParallelSweep;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -68,7 +69,8 @@ pub fn simulate_pair(
 /// a suite mix.
 ///
 /// Built once per study and then queried by the optimisers; construction
-/// parallelises across size pairs with scoped threads.
+/// parallelises across size pairs on the shared bounded executor
+/// ([`nm_sweep::ParallelSweep`]).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MissRateTable {
     entries: BTreeMap<(u64, u64), PairStats>,
@@ -84,8 +86,9 @@ impl MissRateTable {
     /// # Panics
     ///
     /// Panics if a size is not a legal [`CacheParams`] (power of two and
-    /// large enough for its associativity) — table construction is static
-    /// study configuration.
+    /// large enough for its associativity), naming the offending size —
+    /// table construction is static study configuration, and every size
+    /// is validated before any simulation thread starts.
     pub fn build(
         l1_sizes: &[u64],
         l2_sizes: &[u64],
@@ -94,48 +97,56 @@ impl MissRateTable {
         warmup: u64,
         measure: u64,
     ) -> Self {
-        let pairs: Vec<(u64, u64)> = l1_sizes
+        // Validate the whole grid up front so an illegal size fails fast
+        // with its value, instead of surfacing as a worker-thread panic.
+        let l1_params: Vec<(u64, CacheParams)> = l1_sizes
             .iter()
-            .flat_map(|&l1| l2_sizes.iter().map(move |&l2| (l1, l2)))
+            .map(|&b| {
+                let p = CacheParams::new(b, 64, 4)
+                    .unwrap_or_else(|e| panic!("illegal L1 size {b} B: {e}"));
+                (b, p)
+            })
+            .collect();
+        let l2_params: Vec<(u64, CacheParams)> = l2_sizes
+            .iter()
+            .map(|&b| {
+                let p = CacheParams::new(b, 64, 8)
+                    .unwrap_or_else(|e| panic!("illegal L2 size {b} B: {e}"));
+                (b, p)
+            })
+            .collect();
+        let pairs: Vec<((u64, CacheParams), (u64, CacheParams))> = l1_params
+            .iter()
+            .flat_map(|&l1| l2_params.iter().map(move |&l2| (l1, l2)))
             .collect();
 
-        let results: Vec<((u64, u64), PairStats)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = pairs
-                .iter()
-                .map(|&(l1, l2)| {
-                    scope.spawn(move || {
-                        let l1p = CacheParams::new(l1, 64, 4).expect("legal L1 size");
-                        let l2p = CacheParams::new(l2, 64, 8).expect("legal L2 size");
-                        let mut acc = PairStats {
-                            l1_miss_rate: 0.0,
-                            l2_local_miss_rate: 0.0,
-                            l1_writeback_rate: 0.0,
-                            write_fraction: 0.0,
-                            measured: 0,
-                        };
-                        for &suite in suites {
-                            let mut w = suite.build(seed);
-                            let s = simulate_pair(l1p, l2p, w.as_mut(), warmup, measure);
-                            acc.l1_miss_rate += s.l1_miss_rate;
-                            acc.l2_local_miss_rate += s.l2_local_miss_rate;
-                            acc.l1_writeback_rate += s.l1_writeback_rate;
-                            acc.write_fraction += s.write_fraction;
-                            acc.measured += s.measured;
-                        }
-                        let n = suites.len().max(1) as f64;
-                        acc.l1_miss_rate /= n;
-                        acc.l2_local_miss_rate /= n;
-                        acc.l1_writeback_rate /= n;
-                        acc.write_fraction /= n;
-                        ((l1, l2), acc)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("simulation threads do not panic"))
-                .collect()
-        });
+        let results = ParallelSweep::new().labeled("missrate-table").map(
+            &pairs,
+            |&((l1, l1p), (l2, l2p))| {
+                let mut acc = PairStats {
+                    l1_miss_rate: 0.0,
+                    l2_local_miss_rate: 0.0,
+                    l1_writeback_rate: 0.0,
+                    write_fraction: 0.0,
+                    measured: 0,
+                };
+                for &suite in suites {
+                    let mut w = suite.build(seed);
+                    let s = simulate_pair(l1p, l2p, w.as_mut(), warmup, measure);
+                    acc.l1_miss_rate += s.l1_miss_rate;
+                    acc.l2_local_miss_rate += s.l2_local_miss_rate;
+                    acc.l1_writeback_rate += s.l1_writeback_rate;
+                    acc.write_fraction += s.write_fraction;
+                    acc.measured += s.measured;
+                }
+                let n = suites.len().max(1) as f64;
+                acc.l1_miss_rate /= n;
+                acc.l2_local_miss_rate /= n;
+                acc.l1_writeback_rate /= n;
+                acc.write_fraction /= n;
+                ((l1, l2), acc)
+            },
+        );
 
         MissRateTable {
             entries: results.into_iter().collect(),
@@ -187,9 +198,7 @@ mod tests {
         assert!(s.l1_miss_rate > 0.0 && s.l1_miss_rate < 0.3);
         assert!(s.l2_local_miss_rate >= 0.0 && s.l2_local_miss_rate <= 1.0);
         assert_eq!(s.measured, 50_000);
-        assert!(
-            (s.global_miss_rate() - s.l1_miss_rate * s.l2_local_miss_rate).abs() < 1e-15
-        );
+        assert!((s.global_miss_rate() - s.l1_miss_rate * s.l2_local_miss_rate).abs() < 1e-15);
     }
 
     #[test]
@@ -220,7 +229,10 @@ mod tests {
             150_000,
         );
         let m128 = t.get(16 * 1024, 128 * 1024).unwrap().l2_local_miss_rate;
-        let m2m = t.get(16 * 1024, 2 * 1024 * 1024).unwrap().l2_local_miss_rate;
+        let m2m = t
+            .get(16 * 1024, 2 * 1024 * 1024)
+            .unwrap()
+            .l2_local_miss_rate;
         assert!(m2m < m128, "2M {m2m} ≥ 128K {m128}");
     }
 
@@ -237,6 +249,18 @@ mod tests {
         let m4 = t.get(4 * 1024, 512 * 1024).unwrap().l1_miss_rate;
         let m64 = t.get(64 * 1024, 512 * 1024).unwrap().l1_miss_rate;
         assert!(m64 <= m4, "64K {m64} > 4K {m4}");
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal L1 size 3000 B")]
+    fn illegal_l1_size_is_named_before_any_simulation() {
+        let _ = MissRateTable::build(&[3000], &[256 * 1024], &[SuiteKind::Spec2000], 1, 10, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal L2 size 100000 B")]
+    fn illegal_l2_size_is_named_before_any_simulation() {
+        let _ = MissRateTable::build(&[16 * 1024], &[100_000], &[SuiteKind::Spec2000], 1, 10, 10);
     }
 
     #[test]

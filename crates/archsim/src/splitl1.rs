@@ -241,21 +241,22 @@ pub fn simulate_unified(
     let mut inst = InstStream::default_suite(seed);
     let mut rng = StdRng::seed_from_u64(seed ^ 0xd1ce);
     let warmup = steps / 2;
-    let probe = |l1_sim: &mut CacheSim, l2_sim: &mut CacheSim, demand: &mut CacheStats, a: Access| {
-        let out = l1_sim.access(a);
-        if let crate::cache::Outcome::Miss {
-            victim_writeback: true,
-        } = out
-        {
-            l2_sim.access(Access::write(a.addr));
-        }
-        if !out.is_hit() {
-            demand.accesses += 1;
-            if !l2_sim.access(a).is_hit() {
-                demand.misses += 1;
+    let probe =
+        |l1_sim: &mut CacheSim, l2_sim: &mut CacheSim, demand: &mut CacheStats, a: Access| {
+            let out = l1_sim.access(a);
+            if let crate::cache::Outcome::Miss {
+                victim_writeback: true,
+            } = out
+            {
+                l2_sim.access(Access::write(a.addr));
             }
-        }
-    };
+            if !out.is_hit() {
+                demand.accesses += 1;
+                if !l2_sim.access(a).is_hit() {
+                    demand.misses += 1;
+                }
+            }
+        };
     for step in 0..steps {
         if step == warmup {
             l1_sim.reset_stats();

@@ -216,7 +216,10 @@ impl TraceWorkload {
     /// Panics on an empty trace — an endless generator needs at least one
     /// reference.
     pub fn new(accesses: Vec<Access>) -> Self {
-        assert!(!accesses.is_empty(), "trace must contain at least one access");
+        assert!(
+            !accesses.is_empty(),
+            "trace must contain at least one access"
+        );
         TraceWorkload {
             accesses,
             position: 0,

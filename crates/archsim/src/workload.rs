@@ -552,7 +552,9 @@ mod tests {
     fn suites_differ_across_seeds() {
         let mut a = SuiteKind::TpcC.build(1);
         let mut b = SuiteKind::TpcC.build(2);
-        let same = (0..100).filter(|_| a.next_access() == b.next_access()).count();
+        let same = (0..100)
+            .filter(|_| a.next_access() == b.next_access())
+            .count();
         assert!(same < 100);
     }
 

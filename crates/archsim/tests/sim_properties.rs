@@ -11,7 +11,11 @@ use proptest::prelude::*;
 fn arb_access() -> impl Strategy<Value = Access> {
     (0u64..(1 << 24), prop::bool::ANY).prop_map(|(addr, w)| Access {
         addr,
-        kind: if w { AccessKind::Write } else { AccessKind::Read },
+        kind: if w {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        },
     })
 }
 

@@ -7,25 +7,18 @@
 //! 2 Tox + 1 Vth (`Vth` is the more effective knob).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use nm_archsim::MissRateTable;
 use nm_bench::emit_series;
 use nm_cache_core::amat::MainMemory;
 use nm_cache_core::memsys::{MemorySystemStudy, TupleCounts};
 use nm_cache_core::twolevel::{TwoLevelStudy, STANDARD_SUITES};
-use nm_archsim::MissRateTable;
 use nm_device::{KnobGrid, TechnologyNode};
 use std::hint::black_box;
 
 fn build_study() -> MemorySystemStudy {
     let l1 = 16 * 1024;
     let l2 = 1024 * 1024;
-    let missrates = MissRateTable::build(
-        &[l1],
-        &[l2],
-        &STANDARD_SUITES,
-        2005,
-        300_000,
-        600_000,
-    );
+    let missrates = MissRateTable::build(&[l1], &[l2], &STANDARD_SUITES, 2005, 300_000, 600_000);
     let stats = *missrates.get(l1, l2).expect("pair simulated");
     MemorySystemStudy::new(
         l1,
@@ -56,10 +49,7 @@ fn bench(c: &mut Criterion) {
     let two_targets = vec![targets[2], targets[5]];
     c.bench_function("fig2/tuple_2tox_2vth_two_targets", |b| {
         b.iter(|| {
-            black_box(study.tuple_curves(
-                &[TupleCounts { n_tox: 2, n_vth: 2 }],
-                &two_targets,
-            ))
+            black_box(study.tuple_curves(&[TupleCounts { n_tox: 2, n_vth: 2 }], &two_targets))
         })
     });
 }

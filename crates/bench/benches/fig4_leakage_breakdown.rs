@@ -27,10 +27,7 @@ fn breakdown_series(circuit: &CacheCircuit, vth: f64) -> Vec<Series> {
 
 fn bench(c: &mut Criterion) {
     let tech = TechnologyNode::bptm65();
-    let circuit = CacheCircuit::new(
-        CacheConfig::new(16 * 1024, 64, 4).expect("valid"),
-        &tech,
-    );
+    let circuit = CacheCircuit::new(CacheConfig::new(16 * 1024, 64, 4).expect("valid"), &tech);
 
     let mut series = breakdown_series(&circuit, 0.3);
     series.extend(breakdown_series(&circuit, 0.45));

@@ -32,7 +32,10 @@ fn bench(c: &mut Criterion) {
         let t = MissRateTable::build(&l1_sizes, &l2_sizes, &[suite], 2005, 300_000, 600_000);
         let mut l1_row = vec![suite.name().to_owned()];
         for &l1 in &l1_sizes {
-            l1_row.push(cell(t.get(l1, 1024 * 1024).expect("simulated").l1_miss_rate, 4));
+            l1_row.push(cell(
+                t.get(l1, 1024 * 1024).expect("simulated").l1_miss_rate,
+                4,
+            ));
         }
         l1_table.push_row(l1_row);
         let mut l2_row = vec![suite.name().to_owned()];

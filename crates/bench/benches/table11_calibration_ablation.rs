@@ -24,7 +24,10 @@ fn spans_and_ablation(tech: &TechnologyNode) -> (f64, f64, Option<(f64, f64)>) {
     let study = SingleCacheStudy::new(config, tech, KnobGrid::paper());
     let curves = study.fixed_knob_curves();
     let span = |label: &str| {
-        let c = curves.iter().find(|c| c.label == label).expect("curve exists");
+        let c = curves
+            .iter()
+            .find(|c| c.label == label)
+            .expect("curve exists");
         let lo = c.points.first().expect("non-empty").0;
         let hi = c.points.last().expect("non-empty").0;
         hi / lo
@@ -53,7 +56,10 @@ fn bench(c: &mut Criterion) {
         ("full length scaling (κ=1)", base.with_length_scaling(1.0)),
         ("shallow gate slope (Bg=0.6)", base.with_gate_slope(0.6)),
         ("steep gate slope (Bg=2.4)", base.with_gate_slope(2.4)),
-        ("no near-Vth slowdown (λ=0)", base.with_near_vth_slowdown(0.0)),
+        (
+            "no near-Vth slowdown (λ=0)",
+            base.with_near_vth_slowdown(0.0),
+        ),
     ];
 
     let mut table = Table::new(

@@ -11,10 +11,7 @@ use std::hint::black_box;
 
 fn circuit() -> CacheCircuit {
     let tech = TechnologyNode::bptm65();
-    CacheCircuit::new(
-        CacheConfig::new(16 * 1024, 64, 4).expect("valid"),
-        &tech,
-    )
+    CacheCircuit::new(CacheConfig::new(16 * 1024, 64, 4).expect("valid"), &tech)
 }
 
 fn bench(c: &mut Criterion) {

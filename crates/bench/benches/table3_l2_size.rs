@@ -19,7 +19,9 @@ fn bench(c: &mut Criterion) {
 
     // Two constraints: tight (6 % slack) and relaxed (15 % slack).
     for (name, slack) in [("tight", 0.06), ("relaxed", 0.15)] {
-        let target = study.amat_target(l1, &l2_sizes, slack).expect("sizes simulated");
+        let target = study
+            .amat_target(l1, &l2_sizes, slack)
+            .expect("sizes simulated");
         let sweep = study
             .l2_size_sweep(l1, &l2_sizes, Scheme::Uniform, target)
             .expect("sizes simulated");
@@ -33,7 +35,9 @@ fn bench(c: &mut Criterion) {
         }
     }
 
-    let target = study.amat_target(l1, &l2_sizes, 0.10).expect("sizes simulated");
+    let target = study
+        .amat_target(l1, &l2_sizes, 0.10)
+        .expect("sizes simulated");
     c.bench_function("table3/l2_size_sweep_uniform", |b| {
         b.iter(|| {
             black_box(

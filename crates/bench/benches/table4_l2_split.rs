@@ -21,7 +21,9 @@ fn bench(c: &mut Criterion) {
     let l2_sizes = TwoLevelStudy::standard_l2_sizes();
     // Enough slack that the smaller L2 sizes are feasible at all (their
     // higher miss rates raise the knob-independent memory floor).
-    let target = study.amat_target(l1, &l2_sizes, 0.15).expect("sizes simulated");
+    let target = study
+        .amat_target(l1, &l2_sizes, 0.15)
+        .expect("sizes simulated");
 
     let uniform = study
         .l2_size_sweep(l1, &l2_sizes, Scheme::Uniform, target)
@@ -31,7 +33,10 @@ fn bench(c: &mut Criterion) {
         .expect("sizes simulated");
 
     let mut table = Table::new(
-        format!("L2 single pair vs split pairs, AMAT ≤ {:.0} ps", target.picos()),
+        format!(
+            "L2 single pair vs split pairs, AMAT ≤ {:.0} ps",
+            target.picos()
+        ),
         &[
             "L2 (KB)",
             "uniform leak (mW)",
@@ -44,8 +49,10 @@ fn bench(c: &mut Criterion) {
         let knobs = s.knobs.as_ref();
         table.push_row(vec![
             cell(u.size_bytes as f64 / 1024.0, 0),
-            u.opt_leakage.map_or_else(|| "-".into(), |w| cell(w.milli(), 3)),
-            s.opt_leakage.map_or_else(|| "-".into(), |w| cell(w.milli(), 3)),
+            u.opt_leakage
+                .map_or_else(|| "-".into(), |w| cell(w.milli(), 3)),
+            s.opt_leakage
+                .map_or_else(|| "-".into(), |w| cell(w.milli(), 3)),
             knobs.map_or_else(
                 || "-".into(),
                 |k| k[nm_geometry::ComponentId::MemoryArray].to_string(),

@@ -6,15 +6,33 @@ use nm_geometry::*;
 
 fn main() {
     let tech = TechnologyNode::bptm65();
-    let cfg = CacheConfig::new(16*1024, 64, 4).unwrap();
+    let cfg = CacheConfig::new(16 * 1024, 64, 4).unwrap();
     let c = CacheCircuit::new(cfg, &tech);
-    for (vth, tox) in [(0.2,10.0),(0.2,12.0),(0.2,14.0),(0.3,12.0),(0.4,12.0),(0.5,10.0),(0.5,12.0),(0.5,14.0)] {
+    for (vth, tox) in [
+        (0.2, 10.0),
+        (0.2, 12.0),
+        (0.2, 14.0),
+        (0.3, 12.0),
+        (0.4, 12.0),
+        (0.5, 10.0),
+        (0.5, 12.0),
+        (0.5, 14.0),
+    ] {
         let kp = KnobPoint::new(Volts(vth), Angstroms(tox)).unwrap();
         let m = c.analyze(&ComponentKnobs::uniform(kp));
-        print!("vth={vth} tox={tox}: total={:7.1}ps leak={:8.3}mW |", m.access_time().picos(), m.leakage().total().milli());
+        print!(
+            "vth={vth} tox={tox}: total={:7.1}ps leak={:8.3}mW |",
+            m.access_time().picos(),
+            m.leakage().total().milli()
+        );
         for id in COMPONENT_IDS {
             let cm = m.component(id);
-            print!(" {}={:6.1}ps/{:7.4}mW", id, cm.delay.picos(), cm.leakage.total().milli());
+            print!(
+                " {}={:6.1}ps/{:7.4}mW",
+                id,
+                cm.delay.picos(),
+                cm.leakage.total().milli()
+            );
         }
         println!();
     }

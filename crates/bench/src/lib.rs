@@ -11,8 +11,7 @@ use std::path::PathBuf;
 
 /// Directory the regenerated figure/table CSVs land in.
 pub fn artifact_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/paper-artifacts");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/paper-artifacts");
     std::fs::create_dir_all(&dir).expect("can create artifact directory");
     dir
 }
@@ -21,9 +20,7 @@ pub fn artifact_dir() -> PathBuf {
 pub fn emit_table(name: &str, table: &Table) {
     println!("\n{table}");
     let path = artifact_dir().join(format!("{name}.csv"));
-    table
-        .write_csv(&path)
-        .expect("can write artifact CSV");
+    table.write_csv(&path).expect("can write artifact CSV");
     println!("[artifact] {}", path.display());
 }
 
@@ -34,8 +31,6 @@ pub fn emit_series(name: &str, title: &str, x: &str, y: &str, series: &[Series])
     }
     let table = Series::to_table(series, title, x, y);
     let path = artifact_dir().join(format!("{name}.csv"));
-    table
-        .write_csv(&path)
-        .expect("can write artifact CSV");
+    table.write_csv(&path).expect("can write artifact CSV");
     println!("[artifact] {}", path.display());
 }

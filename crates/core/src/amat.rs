@@ -77,11 +77,7 @@ pub fn memory_floor(l1_miss_rate: f64, l2_local_miss_rate: f64, mem_time: Second
 
 /// Per-CPU-reference dynamic energy of the memory endpoint:
 /// `m1·m2·E_mem`.
-pub fn memory_energy(
-    l1_miss_rate: f64,
-    l2_local_miss_rate: f64,
-    mem_energy: Joules,
-) -> Joules {
+pub fn memory_energy(l1_miss_rate: f64, l2_local_miss_rate: f64, mem_energy: Joules) -> Joules {
     mem_energy * (l1_miss_rate * l2_local_miss_rate)
 }
 

@@ -112,7 +112,11 @@ impl DecayStudy {
 
     /// Picks the interval minimising `alive·array_leakage + refill power`
     /// for a given array leakage, from precomputed interval outcomes.
-    fn best_outcome(outcomes: &[DecayOutcome], array_leakage: Watts, refill: impl Fn(f64) -> Watts) -> DecayOutcome {
+    fn best_outcome(
+        outcomes: &[DecayOutcome],
+        array_leakage: Watts,
+        refill: impl Fn(f64) -> Watts,
+    ) -> DecayOutcome {
         *outcomes
             .iter()
             .min_by(|a, b| {
@@ -136,10 +140,7 @@ impl DecayStudy {
     ) -> TechniqueRow {
         let circuit = self.study.circuit();
         let metrics = circuit.analyze(knobs);
-        let array = metrics
-            .component(ComponentId::MemoryArray)
-            .leakage
-            .total();
+        let array = metrics.component(ComponentId::MemoryArray).leakage.total();
         let periphery: Watts = COMPONENT_IDS
             .iter()
             .filter(|id| id.is_peripheral())

@@ -166,8 +166,7 @@ mod tests {
     #[test]
     fn every_bench_target_exists_on_disk() {
         // Registry entries must point at real bench files.
-        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-            .join("../bench/benches");
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../bench/benches");
         for e in &ALL {
             let path = dir.join(format!("{}.rs", e.bench));
             assert!(path.exists(), "{}: missing {}", e.id, path.display());

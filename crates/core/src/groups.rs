@@ -237,7 +237,14 @@ mod tests {
     fn tied_group_sums_components() {
         let c = circuit();
         let grid = KnobGrid::coarse();
-        let g = tied_group(&c, &COMPONENT_IDS, "all", &grid, 1.0, CostKind::LeakagePower);
+        let g = tied_group(
+            &c,
+            &COMPONENT_IDS,
+            "all",
+            &grid,
+            1.0,
+            CostKind::LeakagePower,
+        );
         let p = KnobPoint::nominal();
         let cand = g
             .candidates()
@@ -254,7 +261,13 @@ mod tests {
         let c = circuit();
         let grid = KnobGrid::coarse();
         let g1 = component_group(&c, ComponentId::DataBus, &grid, 1.0, CostKind::LeakagePower);
-        let g2 = component_group(&c, ComponentId::DataBus, &grid, 0.05, CostKind::LeakagePower);
+        let g2 = component_group(
+            &c,
+            ComponentId::DataBus,
+            &grid,
+            0.05,
+            CostKind::LeakagePower,
+        );
         for (a, b) in g1.candidates().iter().zip(g2.candidates()) {
             assert!((b.delay - 0.05 * a.delay).abs() < 1e-18);
             assert_eq!(a.cost, b.cost);

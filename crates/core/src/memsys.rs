@@ -20,6 +20,7 @@ use nm_device::{KnobGrid, TechnologyNode};
 use nm_geometry::{CacheCircuit, CacheConfig, ComponentId, COMPONENT_IDS};
 use nm_opt::tuple::optimize_with_tuple_counts;
 use nm_opt::Group;
+use nm_sweep::ParallelSweep;
 use serde::{Deserialize, Serialize};
 
 /// A (`nTox`, `nVth`) tuple from Figure 2's legend.
@@ -44,6 +45,20 @@ impl TupleCounts {
     /// Figure 2 legend label, e.g. `"2 Tox + 2 Vth"`.
     pub fn label(self) -> String {
         format!("{} Tox + {} Vth", self.n_tox, self.n_vth)
+    }
+}
+
+/// The AMAT band `[min, max]` trimmed 2 % inside both endpoints. When the
+/// band is narrower than the trim (`lo > hi` after trimming), both bounds
+/// clamp to the untrimmed midpoint so the sweep never reverses.
+fn trimmed_band(min: f64, max: f64) -> (f64, f64) {
+    let lo = min * 1.02;
+    let hi = max * 0.98;
+    if lo > hi {
+        let mid = (min + max) / 2.0;
+        (mid, mid)
+    } else {
+        (lo, hi)
     }
 }
 
@@ -141,10 +156,18 @@ impl MemorySystemStudy {
 
     /// Evenly spaced AMAT targets across the feasible range, trimmed a
     /// hair inside both endpoints.
+    ///
+    /// `steps == 0` returns an empty sweep (consistent with
+    /// `deadline_sweep` in `nm_opt::constraint`). When the feasible band
+    /// is narrower than the ±2 % trim, the trimmed bounds would cross;
+    /// the sweep collapses to the band midpoint instead of walking a
+    /// reversed range.
     pub fn amat_sweep(&self, steps: usize) -> Vec<Seconds> {
-        let lo = self.min_amat().0 * 1.02;
-        let hi = self.max_amat().0 * 0.98;
-        if steps <= 1 {
+        if steps == 0 {
+            return Vec::new();
+        }
+        let (lo, hi) = trimmed_band(self.min_amat().0, self.max_amat().0);
+        if steps == 1 {
             return vec![Seconds(hi)];
         }
         (0..steps)
@@ -169,43 +192,44 @@ impl MemorySystemStudy {
         );
         let floor = self.amat_floor();
 
+        // Every (tuple, target) cell is independent: flatten the grid into
+        // one bounded sweep so large target axes cannot fan out into
+        // thread-per-item work.
+        let jobs: Vec<(usize, Seconds)> = (0..tuples.len())
+            .flat_map(|ti| targets.iter().map(move |&t| (ti, t)))
+            .collect();
+        let points: Vec<Option<(f64, f64)>> =
+            ParallelSweep::new()
+                .labeled("tuple-curves")
+                .map(&jobs, |&(ti, target)| {
+                    let tc = tuples[ti];
+                    let budget = target.0 - floor.0;
+                    if budget <= 0.0 {
+                        return None;
+                    }
+                    let groups = self.system_groups(target);
+                    let sols = optimize_with_tuple_counts(
+                        &groups,
+                        &vth_axis,
+                        &tox_axis,
+                        tc.n_vth,
+                        tc.n_tox,
+                        &[budget],
+                    );
+                    sols[0]
+                        .as_ref()
+                        .map(|sol| (target.picos(), (sol.point.cost + e_mem.0) * 1e12))
+                });
+
         tuples
             .iter()
-            .map(|&tc| {
-                // Targets are independent; solve them on scoped threads.
-                let points: Vec<Option<(f64, f64)>> = std::thread::scope(|scope| {
-                    let handles: Vec<_> = targets
-                        .iter()
-                        .map(|&target| {
-                            let vth_axis = &vth_axis;
-                            let tox_axis = &tox_axis;
-                            scope.spawn(move || {
-                                let budget = target.0 - floor.0;
-                                if budget <= 0.0 {
-                                    return None;
-                                }
-                                let groups = self.system_groups(target);
-                                let sols = optimize_with_tuple_counts(
-                                    &groups,
-                                    vth_axis,
-                                    tox_axis,
-                                    tc.n_vth,
-                                    tc.n_tox,
-                                    &[budget],
-                                );
-                                sols[0].as_ref().map(|sol| {
-                                    (target.picos(), (sol.point.cost + e_mem.0) * 1e12)
-                                })
-                            })
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("solver threads do not panic"))
-                        .collect()
-                });
+            .enumerate()
+            .map(|(ti, &tc)| {
                 let mut series = Series::new(tc.label());
-                series.points = points.into_iter().flatten().collect();
+                series.points = points[ti * targets.len()..(ti + 1) * targets.len()]
+                    .iter()
+                    .filter_map(|p| *p)
+                    .collect();
                 series
             })
             .collect()
@@ -268,6 +292,37 @@ mod tests {
         let sweep = s.amat_sweep(5);
         assert_eq!(sweep.len(), 5);
         assert!(sweep[0].0 < sweep[4].0);
+    }
+
+    #[test]
+    fn amat_sweep_zero_steps_is_empty() {
+        // Consistent with `deadline_sweep` in nm-opt: no steps, no targets.
+        assert!(study().amat_sweep(0).is_empty());
+    }
+
+    #[test]
+    fn amat_sweep_clamps_when_band_narrower_than_trim() {
+        // A band narrower than the ±2 % trim would cross after trimming;
+        // it must collapse to the midpoint, never reverse.
+        let (lo, hi) = trimmed_band(1.00e-9, 1.01e-9);
+        assert_eq!(lo, hi);
+        assert!((lo - 1.005e-9).abs() < 1e-15);
+        // A comfortably wide band trims normally and stays ordered.
+        let (lo, hi) = trimmed_band(1.0e-9, 2.0e-9);
+        assert!(lo < hi);
+        assert!(lo > 1.0e-9 && hi < 2.0e-9);
+        // The real study's sweep is non-decreasing and inside the band.
+        let s = study();
+        for steps in [1, 2, 5] {
+            let sweep = s.amat_sweep(steps);
+            assert_eq!(sweep.len(), steps);
+            for w in sweep.windows(2) {
+                assert!(w[0].0 <= w[1].0, "reversed sweep: {sweep:?}");
+            }
+            for t in &sweep {
+                assert!(t.0 >= s.min_amat().0 && t.0 <= s.max_amat().0);
+            }
+        }
     }
 
     #[test]
@@ -335,28 +390,19 @@ mod tests {
             }
         }
         assert!(total >= 3);
-        assert!(
-            wins * 2 > total,
-            "1Tox+2Vth won only {wins}/{total} points"
-        );
+        assert!(wins * 2 > total, "1Tox+2Vth won only {wins}/{total} points");
     }
 
     #[test]
     fn tuple_table_renders() {
         let s = study();
-        let t = s.tuple_table(
-            &[TupleCounts { n_tox: 1, n_vth: 2 }],
-            &s.amat_sweep(3),
-        );
+        let t = s.tuple_table(&[TupleCounts { n_tox: 1, n_vth: 2 }], &s.amat_sweep(3));
         assert!(!t.is_empty());
     }
 
     #[test]
     fn figure2_labels() {
-        assert_eq!(
-            TupleCounts { n_tox: 2, n_vth: 3 }.label(),
-            "2 Tox + 3 Vth"
-        );
+        assert_eq!(TupleCounts { n_tox: 2, n_vth: 3 }.label(), "2 Tox + 3 Vth");
         assert_eq!(TupleCounts::FIGURE2.len(), 5);
     }
 }

@@ -35,7 +35,10 @@ pub fn ascii_plot(
 ) -> String {
     let width = width.max(16);
     let height = height.max(6);
-    let points: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let points: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     if points.is_empty() {
         return String::new();
     }

@@ -4,6 +4,7 @@
 //! optionally persists the CSV next to the Criterion output, so each paper
 //! figure/table can be regenerated and diffed from artefacts.
 
+use nm_sweep::SweepStats;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::io::{self, Write};
@@ -119,7 +120,13 @@ impl fmt::Display for Table {
         }
         writeln!(f, "== {} ==", self.title)?;
         for (i, h) in self.headers.iter().enumerate() {
-            write!(f, "{:>width$}{}", h, if i + 1 < ncols { "  " } else { "\n" }, width = widths[i])?;
+            write!(
+                f,
+                "{:>width$}{}",
+                h,
+                if i + 1 < ncols { "  " } else { "\n" },
+                width = widths[i]
+            )?;
         }
         for row in &self.rows {
             for (i, cell) in row.iter().enumerate() {
@@ -139,6 +146,25 @@ impl fmt::Display for Table {
 /// Formats a float with a fixed number of decimals (table-cell helper).
 pub fn cell(value: f64, decimals: usize) -> String {
     format!("{value:.decimals$}")
+}
+
+/// Renders recorded sweep-executor statistics (one row per completed
+/// sweep, in completion order) for the CLI's `--stats` flag.
+pub fn sweep_stats_table(stats: &[SweepStats]) -> Table {
+    let mut t = Table::new(
+        "Parallel sweeps",
+        &["sweep", "items", "workers", "wall (ms)", "items/s"],
+    );
+    for s in stats {
+        t.push_row(vec![
+            s.label.clone(),
+            s.items.to_string(),
+            s.workers.to_string(),
+            cell(s.wall.as_secs_f64() * 1e3, 1),
+            cell(s.items_per_sec(), 0),
+        ]);
+    }
+    t
 }
 
 /// One labelled data series of a figure (x/y point list).
@@ -220,6 +246,28 @@ mod tests {
         sample().write_csv(&path).unwrap();
         let read = std::fs::read_to_string(&path).unwrap();
         assert_eq!(read, sample().to_csv());
+    }
+
+    #[test]
+    fn sweep_stats_render_one_row_per_sweep() {
+        let stats = [
+            SweepStats {
+                label: "missrate-table".into(),
+                items: 9,
+                workers: 4,
+                wall: std::time::Duration::from_millis(120),
+            },
+            SweepStats {
+                label: "tuple-curves".into(),
+                items: 30,
+                workers: 8,
+                wall: std::time::Duration::from_millis(45),
+            },
+        ];
+        let t = sweep_stats_table(&stats);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.headers().len(), 5);
+        assert!(t.to_string().contains("missrate-table"));
     }
 
     #[test]

@@ -203,7 +203,11 @@ mod tests {
             s.vth_exchange_rate(),
             s.tox_exchange_rate()
         );
-        assert!(s.vth_exchange_rate() > 1.0, "Vth deal too weak: {:.2}", s.vth_exchange_rate());
+        assert!(
+            s.vth_exchange_rate() > 1.0,
+            "Vth deal too weak: {:.2}",
+            s.vth_exchange_rate()
+        );
     }
 
     #[test]
@@ -219,10 +223,7 @@ mod tests {
     #[test]
     fn edge_points_use_one_sided_differences_without_panicking() {
         let c = circuit();
-        for at in [
-            KnobPoint::fastest(),
-            KnobPoint::lowest_leakage(),
-        ] {
+        for at in [KnobPoint::fastest(), KnobPoint::lowest_leakage()] {
             let s = component_sensitivity(&c, ComponentId::MemoryArray, at);
             assert!(s.leak_per_vth.is_finite());
             assert!(s.delay_per_tox.is_finite());

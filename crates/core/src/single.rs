@@ -211,7 +211,10 @@ impl SingleCacheStudy {
         };
 
         let mut table = Table::new(
-            format!("Single-knob ablation, {} (Section 4)", self.circuit.config()),
+            format!(
+                "Single-knob ablation, {} (Section 4)",
+                self.circuit.config()
+            ),
             &[
                 "deadline (ps)",
                 "Tox knob only, Vth=0.3V (mW)",
@@ -259,9 +262,24 @@ mod tests {
         // II lands close to I (the paper's core Section 4 finding).
         let s = study();
         for deadline in s.delay_sweep(5).into_iter().skip(1) {
-            let l1 = s.optimize(Scheme::PerComponent, deadline).unwrap().leakage.total().0;
-            let l2 = s.optimize(Scheme::Split, deadline).unwrap().leakage.total().0;
-            let l3 = s.optimize(Scheme::Uniform, deadline).unwrap().leakage.total().0;
+            let l1 = s
+                .optimize(Scheme::PerComponent, deadline)
+                .unwrap()
+                .leakage
+                .total()
+                .0;
+            let l2 = s
+                .optimize(Scheme::Split, deadline)
+                .unwrap()
+                .leakage
+                .total()
+                .0;
+            let l3 = s
+                .optimize(Scheme::Uniform, deadline)
+                .unwrap()
+                .leakage
+                .total()
+                .0;
             assert!(l1 <= l2 + 1e-15, "I > II at {deadline}");
             assert!(l2 <= l3 + 1e-15, "II > III at {deadline}");
         }
@@ -271,8 +289,18 @@ mod tests {
     fn scheme_two_is_near_optimal_mid_range() {
         let s = study();
         let deadline = s.delay_sweep(5)[2];
-        let l1 = s.optimize(Scheme::PerComponent, deadline).unwrap().leakage.total().0;
-        let l2 = s.optimize(Scheme::Split, deadline).unwrap().leakage.total().0;
+        let l1 = s
+            .optimize(Scheme::PerComponent, deadline)
+            .unwrap()
+            .leakage
+            .total()
+            .0;
+        let l2 = s
+            .optimize(Scheme::Split, deadline)
+            .unwrap()
+            .leakage
+            .total()
+            .0;
         assert!(
             l2 <= l1 * 1.25,
             "Scheme II {l2:.3e} not close to Scheme I {l1:.3e}"
@@ -368,10 +396,7 @@ mod tests {
         for row in t.rows() {
             let tox_only: f64 = row[1].parse().unwrap_or(f64::INFINITY);
             let vth_hi: f64 = row[3].parse().unwrap_or(f64::INFINITY);
-            assert!(
-                vth_hi <= tox_only * 1.05,
-                "Vth knob not better: {row:?}"
-            );
+            assert!(vth_hi <= tox_only * 1.05, "Vth knob not better: {row:?}");
         }
     }
 

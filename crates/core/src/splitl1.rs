@@ -85,14 +85,8 @@ impl SplitL1Study {
             DATA_PER_INST,
         );
         let mut data_b = suite.build(2005);
-        let (u_l1, u_l2) = simulate_unified(
-            unified,
-            l2,
-            data_b.as_mut(),
-            2005,
-            steps,
-            DATA_PER_INST,
-        );
+        let (u_l1, u_l2) =
+            simulate_unified(unified, l2, data_b.as_mut(), 2005, steps, DATA_PER_INST);
 
         // Validate the geometry side eagerly so errors surface here.
         let tech = TechnologyNode::bptm65();
@@ -149,8 +143,13 @@ impl SplitL1Study {
         let icache = self.circuit(self.icache_bytes, 2);
         let dcache = self.circuit(self.dcache_bytes, 4);
         let l2 = self.circuit(self.l2_bytes, 8);
-        let mut groups: Vec<Group> =
-            cache_groups(&icache, Scheme::Split, &self.grid, fi, CostKind::LeakagePower);
+        let mut groups: Vec<Group> = cache_groups(
+            &icache,
+            Scheme::Split,
+            &self.grid,
+            fi,
+            CostKind::LeakagePower,
+        );
         groups.extend(cache_groups(
             &dcache,
             Scheme::Split,
@@ -233,12 +232,7 @@ impl SplitL1Study {
                 "Split I$/D$ vs unified L1 (L2 = {} KB)",
                 self.l2_bytes / 1024
             ),
-            &[
-                "slack",
-                "organisation",
-                "mean access (ps)",
-                "leakage (mW)",
-            ],
+            &["slack", "organisation", "mean access (ps)", "leakage (mW)"],
         );
         for &slack in slacks {
             let deadline = self.deadline(slack);

@@ -72,8 +72,7 @@ impl ThermalStudy {
     pub fn evaluate(&self, slack: f64) -> Vec<ThermalRow> {
         let reference_tech = TechnologyNode::bptm65(); // 80 °C
         let ref_study = SingleCacheStudy::new(self.config, &reference_tech, self.grid.clone());
-        let ref_deadline =
-            Seconds(ref_study.circuit().fastest_access_time().0 * (1.0 + slack));
+        let ref_deadline = Seconds(ref_study.circuit().fastest_access_time().0 * (1.0 + slack));
         let Some(ref_sol) = ref_study.optimize(Scheme::Split, ref_deadline) else {
             return Vec::new();
         };
@@ -83,8 +82,7 @@ impl ThermalStudy {
             .map(|&temperature| {
                 let tech = reference_tech.at_temperature(temperature);
                 let study = SingleCacheStudy::new(self.config, &tech, self.grid.clone());
-                let deadline =
-                    Seconds(study.circuit().fastest_access_time().0 * (1.0 + slack));
+                let deadline = Seconds(study.circuit().fastest_access_time().0 * (1.0 + slack));
                 let fixed = study.circuit().analyze(&ref_sol.knobs).leakage();
                 let reopt = study.optimize(Scheme::Split, deadline);
                 let (reoptimized, gate_fraction) = match &reopt {

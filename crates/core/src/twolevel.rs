@@ -366,13 +366,8 @@ impl TwoLevelStudy {
                 knobs: None,
             };
             if budget > 0.0 {
-                let mut groups: Vec<Group> = cache_groups(
-                    &l1,
-                    Scheme::Split,
-                    &self.grid,
-                    1.0,
-                    CostKind::LeakagePower,
-                );
+                let mut groups: Vec<Group> =
+                    cache_groups(&l1, Scheme::Split, &self.grid, 1.0, CostKind::LeakagePower);
                 groups.extend(cache_groups(
                     &l2,
                     Scheme::Split,
@@ -449,7 +444,10 @@ mod tests {
     fn miss_rates_fall_with_l2_size() {
         let s = study();
         let m_small = s.stats(16 * 1024, 256 * 1024).unwrap().l2_local_miss_rate;
-        let m_big = s.stats(16 * 1024, 4 * 1024 * 1024).unwrap().l2_local_miss_rate;
+        let m_big = s
+            .stats(16 * 1024, 4 * 1024 * 1024)
+            .unwrap()
+            .l2_local_miss_rate;
         assert!(m_big < m_small, "{m_big} ≥ {m_small}");
     }
 
@@ -484,7 +482,11 @@ mod tests {
             .unwrap();
         for (u, v) in uni.rows.iter().zip(&split.rows) {
             if let (Some(a), Some(b)) = (u.opt_leakage, v.opt_leakage) {
-                assert!(b.0 <= a.0 + 1e-15, "{} KB: split worse", u.size_bytes / 1024);
+                assert!(
+                    b.0 <= a.0 + 1e-15,
+                    "{} KB: split worse",
+                    u.size_bytes / 1024
+                );
             }
         }
     }

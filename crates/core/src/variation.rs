@@ -14,6 +14,7 @@ use nm_device::units::{Seconds, Volts, Watts};
 use nm_device::variation::{MonteCarlo, VariationDistribution, VariationModel};
 use nm_device::KnobPoint;
 use nm_geometry::{ComponentKnobs, COMPONENT_IDS};
+use nm_sweep::ParallelSweep;
 use serde::{Deserialize, Serialize};
 
 /// Distribution of whole-cache leakage for one deadline.
@@ -62,14 +63,10 @@ impl VariationStudy {
         let mut out = *knobs;
         for id in COMPONENT_IDS {
             let p = knobs.get(id);
-            let vth = (p.vth().0 + dv).clamp(
-                nm_device::knobs::VTH_RANGE.0,
-                nm_device::knobs::VTH_RANGE.1,
-            );
-            let tox = (p.tox().0 + dt).clamp(
-                nm_device::knobs::TOX_RANGE.0,
-                nm_device::knobs::TOX_RANGE.1,
-            );
+            let vth = (p.vth().0 + dv)
+                .clamp(nm_device::knobs::VTH_RANGE.0, nm_device::knobs::VTH_RANGE.1);
+            let tox = (p.tox().0 + dt)
+                .clamp(nm_device::knobs::TOX_RANGE.0, nm_device::knobs::TOX_RANGE.1);
             out[id] = KnobPoint::new(Volts(vth), nm_device::units::Angstroms(tox))
                 .expect("clamped to legal window");
         }
@@ -87,17 +84,22 @@ impl VariationStudy {
             let circuit = self.study.circuit();
             let mut mc = MonteCarlo::new(self.model, self.seed);
             let reference = KnobPoint::nominal();
-            let mut leaks = Vec::with_capacity(self.samples);
-            let mut meets = 0usize;
-            for _ in 0..self.samples {
-                let corner = mc.sample_corner(reference);
-                let shifted = Self::shift(&sol.knobs, reference, corner);
-                let m = circuit.analyze(&shifted);
-                leaks.push(m.leakage().total().0);
-                if m.access_time().0 <= deadline.0 {
-                    meets += 1;
-                }
-            }
+            // Corners are drawn serially (one RNG stream, same sequence as
+            // the old serial loop); only the expensive circuit analysis
+            // fans out onto the bounded executor.
+            let corners: Vec<KnobPoint> = (0..self.samples)
+                .map(|_| mc.sample_corner(reference))
+                .collect();
+            let evals: Vec<(f64, bool)> =
+                ParallelSweep::new()
+                    .labeled("variation-corners")
+                    .map(&corners, |&corner| {
+                        let shifted = Self::shift(&sol.knobs, reference, corner);
+                        let m = circuit.analyze(&shifted);
+                        (m.leakage().total().0, m.access_time().0 <= deadline.0)
+                    });
+            let leaks: Vec<f64> = evals.iter().map(|&(leak, _)| leak).collect();
+            let meets = evals.iter().filter(|&&(_, ok)| ok).count();
             rows.push(VariationRow {
                 deadline,
                 nominal: sol.leakage.total(),
@@ -146,7 +148,10 @@ impl VariationStudy {
 /// # Errors
 ///
 /// Propagates construction errors from [`SingleCacheStudy::paper_16kb`].
-pub fn paper_16kb_variation(samples: usize, seed: u64) -> Result<VariationStudy, crate::StudyError> {
+pub fn paper_16kb_variation(
+    samples: usize,
+    seed: u64,
+) -> Result<VariationStudy, crate::StudyError> {
     Ok(VariationStudy::new(
         SingleCacheStudy::paper_16kb()?,
         VariationModel::typical_65nm(),

@@ -91,7 +91,13 @@ mod tests {
     fn nominal_drive_near_700ua_per_um() {
         let t = tech();
         let k = knobs(0.30, 12.0);
-        let i = on_current(&t, k, Microns(1.0), t.drawn_length(k.tox()), MosfetKind::Nmos);
+        let i = on_current(
+            &t,
+            k,
+            Microns(1.0),
+            t.drawn_length(k.tox()),
+            MosfetKind::Nmos,
+        );
         assert!(
             (400.0..1000.0).contains(&i.micro()),
             "Ion = {} µA/µm",
@@ -118,8 +124,20 @@ mod tests {
         assert!(r_hi.0 > r_lo.0);
         // The Vth knob must span a wider relative delay range than the Tox
         // knob (the paper's Figure 1 asymmetry).
-        let r_thin = effective_resistance(&t, knobs(0.30, 10.0), Microns(1.0), t.drawn_length(Angstroms(10.0)), MosfetKind::Nmos);
-        let r_thick = effective_resistance(&t, knobs(0.30, 14.0), Microns(1.0), t.drawn_length(Angstroms(14.0)), MosfetKind::Nmos);
+        let r_thin = effective_resistance(
+            &t,
+            knobs(0.30, 10.0),
+            Microns(1.0),
+            t.drawn_length(Angstroms(10.0)),
+            MosfetKind::Nmos,
+        );
+        let r_thick = effective_resistance(
+            &t,
+            knobs(0.30, 14.0),
+            Microns(1.0),
+            t.drawn_length(Angstroms(14.0)),
+            MosfetKind::Nmos,
+        );
         let vth_span = r_hi.0 / r_lo.0;
         let tox_span = r_thick.0 / r_thin.0;
         assert!(

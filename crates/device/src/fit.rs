@@ -51,7 +51,10 @@ pub struct Sample {
 /// Returns [`DeviceError::SingularSystem`] when a pivot vanishes.
 pub fn solve_linear(mut m: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, DeviceError> {
     let n = b.len();
-    assert!(m.len() == n && m.iter().all(|row| row.len() == n), "system must be square");
+    assert!(
+        m.len() == n && m.iter().all(|row| row.len() == n),
+        "system must be square"
+    );
     for col in 0..n {
         let pivot_row = (col..n)
             .max_by(|&i, &j| {
@@ -368,31 +371,20 @@ mod tests {
 
     #[test]
     fn solve_linear_identity() {
-        let x = solve_linear(
-            vec![vec![1.0, 0.0], vec![0.0, 1.0]],
-            vec![3.0, 4.0],
-        )
-        .unwrap();
+        let x = solve_linear(vec![vec![1.0, 0.0], vec![0.0, 1.0]], vec![3.0, 4.0]).unwrap();
         assert!((x[0] - 3.0).abs() < 1e-12 && (x[1] - 4.0).abs() < 1e-12);
     }
 
     #[test]
     fn solve_linear_requires_pivoting() {
         // First pivot is zero; partial pivoting must rescue it.
-        let x = solve_linear(
-            vec![vec![0.0, 1.0], vec![2.0, 0.0]],
-            vec![5.0, 6.0],
-        )
-        .unwrap();
+        let x = solve_linear(vec![vec![0.0, 1.0], vec![2.0, 0.0]], vec![5.0, 6.0]).unwrap();
         assert!((x[0] - 3.0).abs() < 1e-12 && (x[1] - 5.0).abs() < 1e-12);
     }
 
     #[test]
     fn solve_linear_detects_singularity() {
-        let r = solve_linear(
-            vec![vec![1.0, 2.0], vec![2.0, 4.0]],
-            vec![1.0, 2.0],
-        );
+        let r = solve_linear(vec![vec![1.0, 2.0], vec![2.0, 4.0]], vec![1.0, 2.0]);
         assert_eq!(r, Err(DeviceError::SingularSystem));
     }
 
@@ -414,9 +406,8 @@ mod tests {
 
     #[test]
     fn leakage_fit_recovers_exact_form() {
-        let truth = |p: KnobPoint| {
-            1e-4 + 3e-2 * (-22.0 * p.vth().0).exp() + 8e2 * (-1.3 * p.tox().0).exp()
-        };
+        let truth =
+            |p: KnobPoint| 1e-4 + 3e-2 * (-22.0 * p.vth().0).exp() + 8e2 * (-1.3 * p.tox().0).exp();
         let fit = LeakageFit::fit(&grid_samples(truth)).unwrap();
         assert!(fit.r_squared > 0.999, "{fit}");
         assert!((fit.exp_vth + 22.0).abs() < 2.0, "{fit}");

@@ -71,8 +71,7 @@ pub fn gate_current(
     let tox = knobs.tox().0;
     let tox0 = tech.tox_min().0;
     let vox = tech.vdd().0; // full supply across the oxide of an on device
-    let density =
-        j0 * (vox * vox) * (tox0 / tox) * (tox0 / tox) * (-(bg) * (tox - tox0)).exp();
+    let density = j0 * (vox * vox) * (tox0 / tox) * (tox0 / tox) * (-(bg) * (tox - tox0)).exp();
     let area = width.meters().0 * length.0;
     let state_factor = match state {
         ConductionState::On => 1.0,
@@ -236,8 +235,22 @@ mod tests {
         let t = tech();
         let k10 = knobs(0.3, 10.0);
         let k12 = knobs(0.3, 12.0);
-        let i10 = gate_current(&t, k10, Microns(1.0), t.drawn_length(k10.tox()), ConductionState::On).0;
-        let i12 = gate_current(&t, k12, Microns(1.0), t.drawn_length(k12.tox()), ConductionState::On).0;
+        let i10 = gate_current(
+            &t,
+            k10,
+            Microns(1.0),
+            t.drawn_length(k10.tox()),
+            ConductionState::On,
+        )
+        .0;
+        let i12 = gate_current(
+            &t,
+            k12,
+            Microns(1.0),
+            t.drawn_length(k12.tox()),
+            ConductionState::On,
+        )
+        .0;
         let decades = (i10 / i12).log10();
         assert!((0.8..1.6).contains(&decades), "decades = {decades}");
     }
@@ -251,7 +264,12 @@ mod tests {
         let l = t.drawn_length(k.tox());
         let ig = gate_current(&t, k, Microns(1.0), l, ConductionState::On);
         let isub = subthreshold_current(&t, k, Microns(1.0), l);
-        assert!(ig.0 > isub.0, "gate {} nA vs sub {} nA", ig.nano(), isub.nano());
+        assert!(
+            ig.0 > isub.0,
+            "gate {} nA vs sub {} nA",
+            ig.nano(),
+            isub.nano()
+        );
     }
 
     #[test]

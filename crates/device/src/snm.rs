@@ -59,20 +59,14 @@ pub fn effective_dibl(tech: &TechnologyNode, knobs: KnobPoint, length: Meters) -
 /// let snm = read_snm(&tech, 1.33, knobs, tech.drawn_length(knobs.tox()));
 /// assert!(snm >= MIN_STABLE_SNM);
 /// ```
-pub fn read_snm(
-    tech: &TechnologyNode,
-    cell_ratio: f64,
-    knobs: KnobPoint,
-    length: Meters,
-) -> Volts {
+pub fn read_snm(tech: &TechnologyNode, cell_ratio: f64, knobs: KnobPoint, length: Meters) -> Volts {
     assert!(
         cell_ratio > 0.0 && cell_ratio.is_finite(),
         "cell ratio must be positive, got {cell_ratio}"
     );
     let vt = tech.thermal_voltage().0;
     let eta = effective_dibl(tech, knobs, length);
-    let snm = K_VTH * knobs.vth().0 + K_BETA * vt * cell_ratio.ln()
-        - K_DIBL * eta * tech.vdd().0
+    let snm = K_VTH * knobs.vth().0 + K_BETA * vt * cell_ratio.ln() - K_DIBL * eta * tech.vdd().0
         + OFFSET;
     Volts(snm.max(0.0))
 }

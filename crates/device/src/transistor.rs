@@ -194,7 +194,11 @@ mod tests {
     #[test]
     fn with_knobs_preserves_geometry() {
         let t = tech();
-        let a = Mosfet::nmos(Microns(0.5), t.drawn_length(Angstroms(12.0)), KnobPoint::nominal());
+        let a = Mosfet::nmos(
+            Microns(0.5),
+            t.drawn_length(Angstroms(12.0)),
+            KnobPoint::nominal(),
+        );
         let b = a.with_knobs(KnobPoint::lowest_leakage());
         assert_eq!(a.width(), b.width());
         assert_eq!(a.length(), b.length());
@@ -204,7 +208,11 @@ mod tests {
     #[test]
     fn on_state_has_no_subthreshold_but_more_gate() {
         let t = tech();
-        let m = Mosfet::nmos(Microns(1.0), t.drawn_length(Angstroms(10.0)), KnobPoint::fastest());
+        let m = Mosfet::nmos(
+            Microns(1.0),
+            t.drawn_length(Angstroms(10.0)),
+            KnobPoint::fastest(),
+        );
         let off = m.leakage_in_state(&t, ConductionState::Off);
         let on = m.leakage_in_state(&t, ConductionState::On);
         assert_eq!(on.subthreshold.0, 0.0);
@@ -216,7 +224,11 @@ mod tests {
     #[test]
     fn default_leakage_is_off_state() {
         let t = tech();
-        let m = Mosfet::pmos(Microns(0.3), t.drawn_length(Angstroms(12.0)), KnobPoint::nominal());
+        let m = Mosfet::pmos(
+            Microns(0.3),
+            t.drawn_length(Angstroms(12.0)),
+            KnobPoint::nominal(),
+        );
         assert_eq!(m.leakage(&t), m.leakage_in_state(&t, ConductionState::Off));
     }
 
@@ -242,7 +254,11 @@ mod tests {
     #[test]
     fn display_mentions_kind_and_knobs() {
         let t = tech();
-        let m = Mosfet::nmos(Microns(1.0), t.drawn_length(Angstroms(12.0)), KnobPoint::nominal());
+        let m = Mosfet::nmos(
+            Microns(1.0),
+            t.drawn_length(Angstroms(12.0)),
+            KnobPoint::nominal(),
+        );
         let s = m.to_string();
         assert!(s.contains("nmos") && s.contains("Vth"), "{s}");
     }

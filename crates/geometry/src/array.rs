@@ -60,9 +60,8 @@ pub fn analyze(
     // --- Bitline development --------------------------------------------
     let bl_wire_len = Meters(cell.scaled_pitch_y(tech, knobs).meters().0 * org.rows as f64);
     let bl_wire = Wire::new(tech, bl_wire_len);
-    let c_bitline = Farads(
-        cell.bitline_load(tech, knobs).0 * org.rows as f64 + bl_wire.capacitance.0,
-    );
+    let c_bitline =
+        Farads(cell.bitline_load(tech, knobs).0 * org.rows as f64 + bl_wire.capacitance.0);
     let i_read = cell.read_current(tech, knobs);
     let swing = vdd.0 * SENSE_SWING;
     let t_bitline = Seconds(c_bitline.0 * swing / i_read.0)
@@ -84,16 +83,14 @@ pub fn analyze(
     // --- Dynamic read energy -----------------------------------------------
     // Active wordlines charge fully; active bitline pairs swing by the
     // sense margin; sense amps burn a latch transition each.
-    let e_wordline = Joules((wl_wire.capacitance.0 + wl_gate_load.0) * vdd.0 * vdd.0)
-        * ACTIVE_SUBARRAYS;
-    let e_bitline =
-        Joules(c_bitline.0 * vdd.0 * swing * org.cols as f64) * ACTIVE_SUBARRAYS;
+    let e_wordline =
+        Joules((wl_wire.capacitance.0 + wl_gate_load.0) * vdd.0 * vdd.0) * ACTIVE_SUBARRAYS;
+    let e_bitline = Joules(c_bitline.0 * vdd.0 * swing * org.cols as f64) * ACTIVE_SUBARRAYS;
     let active_sense = org.cols as f64 * ACTIVE_SUBARRAYS / Organization::COLUMN_MUX as f64;
     let e_sense = Joules(sense_gate.switching_energy(tech, fo4_load).0 * active_sense);
     let read_energy = e_wordline + e_bitline + e_sense;
     // Writes drive the selected bitline pairs full rail (no sensing).
-    let e_bitline_write =
-        Joules(c_bitline.0 * vdd.0 * vdd.0 * org.cols as f64) * ACTIVE_SUBARRAYS;
+    let e_bitline_write = Joules(c_bitline.0 * vdd.0 * vdd.0 * org.cols as f64) * ACTIVE_SUBARRAYS;
     let write_energy = e_wordline + e_bitline_write;
 
     // --- Census --------------------------------------------------------------
@@ -127,7 +124,12 @@ mod tests {
     #[test]
     fn delay_in_plausible_band() {
         let tech = TechnologyNode::bptm65();
-        let m = analyze(&tech, &org(16 * 1024), &SramCell::default_65nm(), KnobPoint::nominal());
+        let m = analyze(
+            &tech,
+            &org(16 * 1024),
+            &SramCell::default_65nm(),
+            KnobPoint::nominal(),
+        );
         let ps = m.delay.picos();
         assert!((50.0..2000.0).contains(&ps), "array delay = {ps} ps");
     }
@@ -163,7 +165,10 @@ mod tests {
         let vth_span = analyze(&tech, &org(16 * 1024), &cell, k(0.5, 12.0)).delay.0
             / analyze(&tech, &org(16 * 1024), &cell, k(0.2, 12.0)).delay.0;
         let tox_span = thick.delay.0 / thin.delay.0;
-        assert!(vth_span > tox_span, "vth {vth_span:.2} vs tox {tox_span:.2}");
+        assert!(
+            vth_span > tox_span,
+            "vth {vth_span:.2} vs tox {tox_span:.2}"
+        );
     }
 
     #[test]
@@ -177,7 +182,12 @@ mod tests {
     #[test]
     fn read_energy_is_picojoules() {
         let tech = TechnologyNode::bptm65();
-        let m = analyze(&tech, &org(16 * 1024), &SramCell::default_65nm(), KnobPoint::nominal());
+        let m = analyze(
+            &tech,
+            &org(16 * 1024),
+            &SramCell::default_65nm(),
+            KnobPoint::nominal(),
+        );
         let pj = m.read_energy.picos();
         assert!((0.5..100.0).contains(&pj), "E = {pj} pJ");
     }

@@ -122,7 +122,9 @@ impl ComponentKnobs {
 
     /// Iterates `(component, knobs)` in canonical order.
     pub fn iter(&self) -> impl Iterator<Item = (ComponentId, KnobPoint)> + '_ {
-        COMPONENT_IDS.iter().map(move |&id| (id, self.knobs[id.index()]))
+        COMPONENT_IDS
+            .iter()
+            .map(move |&id| (id, self.knobs[id.index()]))
     }
 
     /// The distinct `Vth` values used, sorted ascending.
@@ -213,12 +215,8 @@ mod tests {
 
     #[test]
     fn distinct_value_counting() {
-        let s = ComponentKnobs::per_component(
-            k(0.5, 14.0),
-            k(0.2, 10.0),
-            k(0.2, 10.0),
-            k(0.3, 10.0),
-        );
+        let s =
+            ComponentKnobs::per_component(k(0.5, 14.0), k(0.2, 10.0), k(0.2, 10.0), k(0.3, 10.0));
         assert_eq!(s.distinct_vths(), vec![0.2, 0.3, 0.5]);
         assert_eq!(s.distinct_toxes(), vec![10.0, 14.0]);
     }

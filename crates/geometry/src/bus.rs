@@ -59,9 +59,8 @@ fn analyze_bus(
 
     let wire = Wire::new(tech, length);
     let vdd = tech.vdd().0;
-    let e_per_bit = 0.5 * (wire.capacitance.0 + stages as f64 * driver.input_capacitance(tech).0)
-        * vdd
-        * vdd;
+    let e_per_bit =
+        0.5 * (wire.capacitance.0 + stages as f64 * driver.input_capacitance(tech).0) * vdd * vdd;
     let read_energy = Joules(e_per_bit * bits as f64 * ACTIVITY);
 
     let transistors = drivers * 2;
@@ -103,7 +102,14 @@ pub fn analyze_data(
     cell: &SramCell,
     knobs: KnobPoint,
 ) -> ComponentMetrics {
-    analyze_bus(tech, org, cell, knobs, org.data_out_bits, DATA_LENGTH_FACTOR)
+    analyze_bus(
+        tech,
+        org,
+        cell,
+        knobs,
+        org.data_out_bits,
+        DATA_LENGTH_FACTOR,
+    )
 }
 
 #[cfg(test)]

@@ -206,9 +206,7 @@ impl CacheCircuit {
         match id {
             ComponentId::MemoryArray => array::analyze(&self.tech, &org, &self.cell, knobs),
             ComponentId::Decoder => decoder::analyze(&self.tech, &org, &self.cell, knobs),
-            ComponentId::AddressBus => {
-                bus::analyze_address(&self.tech, &org, &self.cell, knobs)
-            }
+            ComponentId::AddressBus => bus::analyze_address(&self.tech, &org, &self.cell, knobs),
             ComponentId::DataBus => bus::analyze_data(&self.tech, &org, &self.cell, knobs),
         }
     }
@@ -256,10 +254,7 @@ mod tests {
     fn sums_equal_component_sums() {
         let c = circuit(16 * 1024);
         let m = c.analyze(&ComponentKnobs::default());
-        let manual: Seconds = COMPONENT_IDS
-            .iter()
-            .map(|&id| m.component(id).delay)
-            .sum();
+        let manual: Seconds = COMPONENT_IDS.iter().map(|&id| m.component(id).delay).sum();
         assert!((m.access_time().0 - manual.0).abs() < 1e-18);
     }
 
@@ -324,10 +319,17 @@ mod tests {
         let tweaked = base.with(ComponentId::Decoder, k(0.5, 14.0));
         let m0 = c.analyze(&base);
         let m1 = c.analyze(&tweaked);
-        for id in [ComponentId::MemoryArray, ComponentId::AddressBus, ComponentId::DataBus] {
+        for id in [
+            ComponentId::MemoryArray,
+            ComponentId::AddressBus,
+            ComponentId::DataBus,
+        ] {
             assert_eq!(m0.component(id), m1.component(id), "{id} changed");
         }
-        assert_ne!(m0.component(ComponentId::Decoder), m1.component(ComponentId::Decoder));
+        assert_ne!(
+            m0.component(ComponentId::Decoder),
+            m1.component(ComponentId::Decoder)
+        );
     }
 
     #[test]
@@ -345,6 +347,9 @@ mod tests {
     fn display_shows_headline_numbers() {
         let c = circuit(16 * 1024);
         let s = c.analyze(&ComponentKnobs::default()).to_string();
-        assert!(s.contains("ps") && s.contains("mW") && s.contains("pJ"), "{s}");
+        assert!(
+            s.contains("ps") && s.contains("mW") && s.contains("pJ"),
+            "{s}"
+        );
     }
 }

@@ -48,7 +48,11 @@ impl CacheConfig {
     /// * [`GeometryError::TooSmall`] below [`MIN_SIZE_BYTES`],
     /// * [`GeometryError::BlockLargerThanCache`] /
     ///   [`GeometryError::AssociativityTooHigh`] for impossible shapes.
-    pub fn new(size_bytes: u64, block_bytes: u64, associativity: u64) -> Result<Self, GeometryError> {
+    pub fn new(
+        size_bytes: u64,
+        block_bytes: u64,
+        associativity: u64,
+    ) -> Result<Self, GeometryError> {
         for (which, value) in [
             ("size", size_bytes),
             ("block", block_bytes),
@@ -276,7 +280,10 @@ mod tests {
         ));
         assert!(matches!(
             CacheConfig::new(16384, 64, 3),
-            Err(GeometryError::NotPowerOfTwo { which: "associativity", .. })
+            Err(GeometryError::NotPowerOfTwo {
+                which: "associativity",
+                ..
+            })
         ));
     }
 
@@ -328,7 +335,9 @@ mod tests {
     #[test]
     fn bigger_cache_means_more_subarrays_not_bigger_arrays() {
         let small = CacheConfig::new(16 * 1024, 64, 4).unwrap().organization();
-        let large = CacheConfig::new(4 * 1024 * 1024, 64, 8).unwrap().organization();
+        let large = CacheConfig::new(4 * 1024 * 1024, 64, 8)
+            .unwrap()
+            .organization();
         assert!(large.subarrays > small.subarrays);
         assert!(large.rows <= MAX_ROWS && large.cols <= MAX_COLS);
     }
@@ -340,7 +349,9 @@ mod tests {
             "16KB/64B/4-way"
         );
         assert_eq!(
-            CacheConfig::new(2 * 1024 * 1024, 128, 8).unwrap().to_string(),
+            CacheConfig::new(2 * 1024 * 1024, 128, 8)
+                .unwrap()
+                .to_string(),
             "2MB/128B/8-way"
         );
     }
@@ -358,6 +369,9 @@ mod tests {
     fn sense_amps_positive_and_column_muxed() {
         let o = CacheConfig::new(16 * 1024, 64, 4).unwrap().organization();
         assert!(o.sense_amps >= 1);
-        assert_eq!(o.sense_amps, o.cols * o.subarrays / Organization::COLUMN_MUX);
+        assert_eq!(
+            o.sense_amps,
+            o.cols * o.subarrays / Organization::COLUMN_MUX
+        );
     }
 }

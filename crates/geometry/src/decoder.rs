@@ -58,16 +58,20 @@ pub fn analyze(
     // an eighth the size of the row-gate rank.
     let row_gates = wordlines as f64;
     let predecode_gates = (row_gates / 8.0).max(4.0);
-    let leakage = tree_gate.leakage(tech) * (row_gates + predecode_gates)
-        + driver.leakage(tech) * row_gates;
+    let leakage =
+        tree_gate.leakage(tech) * (row_gates + predecode_gates) + driver.leakage(tech) * row_gates;
 
     // --- Dynamic energy ------------------------------------------------------
     // Per access: the address buffers and two predecode ranks switch, one
     // row gate and one driver fire per active subarray.
     let switched_tree = f64::from(org.decoder_bits) * 2.0 + predecode_gates * 0.25 + 2.0;
     let e_tree = Joules(tree_gate.switching_energy(tech, fo_load).0 * switched_tree);
-    let e_driver =
-        Joules(driver.switching_energy(tech, Farads(BOUNDARY_WORDLINE_FF * 1e-15)).0 * 2.0);
+    let e_driver = Joules(
+        driver
+            .switching_energy(tech, Farads(BOUNDARY_WORDLINE_FF * 1e-15))
+            .0
+            * 2.0,
+    );
     let read_energy = e_tree + e_driver;
 
     // --- Census ----------------------------------------------------------------
@@ -120,8 +124,17 @@ mod tests {
     #[test]
     fn decoder_delay_tens_to_hundreds_of_ps() {
         let tech = TechnologyNode::bptm65();
-        let m = analyze(&tech, &org(16 * 1024), &SramCell::default_65nm(), KnobPoint::nominal());
-        assert!((10.0..500.0).contains(&m.delay.picos()), "{} ps", m.delay.picos());
+        let m = analyze(
+            &tech,
+            &org(16 * 1024),
+            &SramCell::default_65nm(),
+            KnobPoint::nominal(),
+        );
+        assert!(
+            (10.0..500.0).contains(&m.delay.picos()),
+            "{} ps",
+            m.delay.picos()
+        );
     }
 
     #[test]
@@ -137,7 +150,12 @@ mod tests {
     #[test]
     fn energy_positive_and_modest() {
         let tech = TechnologyNode::bptm65();
-        let m = analyze(&tech, &org(16 * 1024), &SramCell::default_65nm(), KnobPoint::nominal());
+        let m = analyze(
+            &tech,
+            &org(16 * 1024),
+            &SramCell::default_65nm(),
+            KnobPoint::nominal(),
+        );
         assert!(m.read_energy.picos() > 0.0);
         assert!(m.read_energy.picos() < 20.0);
     }

@@ -10,6 +10,7 @@
 use crate::cache::{CacheCircuit, CacheMetrics};
 use crate::config::{CacheConfig, Organization};
 use nm_device::{KnobPoint, TechnologyNode};
+use nm_sweep::ParallelSweep;
 use serde::{Deserialize, Serialize};
 
 /// Ranking objective for the organisation search.
@@ -64,19 +65,20 @@ pub fn explore(
     objective: Objective,
 ) -> Vec<ExploredOrganization> {
     let knobs = crate::assignment::ComponentKnobs::uniform(KnobPoint::nominal());
-    let mut out: Vec<ExploredOrganization> = Organization::candidates(config)
-        .into_iter()
-        .map(|org| {
-            let circuit = CacheCircuit::with_organization(config, tech, org);
-            let metrics = circuit.analyze(&knobs);
-            let score = objective.score(&metrics);
-            ExploredOrganization {
-                org,
-                metrics,
-                score,
-            }
-        })
-        .collect();
+    let candidates = Organization::candidates(config);
+    let mut out: Vec<ExploredOrganization> =
+        ParallelSweep::new()
+            .labeled("fold-explore")
+            .map(&candidates, |&org| {
+                let circuit = CacheCircuit::with_organization(config, tech, org);
+                let metrics = circuit.analyze(&knobs);
+                let score = objective.score(&metrics);
+                ExploredOrganization {
+                    org,
+                    metrics,
+                    score,
+                }
+            });
     out.sort_by(|a, b| a.score.partial_cmp(&b.score).expect("finite scores"));
     out
 }

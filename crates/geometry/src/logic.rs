@@ -58,7 +58,13 @@ impl Gate {
     /// Worst-case switching resistance (pull-down path including the
     /// stack factor).
     pub fn resistance(self, tech: &TechnologyNode) -> Ohms {
-        let r = drive::effective_resistance(tech, self.knobs, self.wn, self.length(tech), MosfetKind::Nmos);
+        let r = drive::effective_resistance(
+            tech,
+            self.knobs,
+            self.wn,
+            self.length(tech),
+            MosfetKind::Nmos,
+        );
         Ohms(r.0 * self.stack)
     }
 
@@ -268,7 +274,12 @@ mod tests {
         let g = Gate::inverter(wn, knobs);
         let raw = Wire::new(&t, len).elmore_delay(g.resistance(&t), Farads(0.0));
         assert!(stages >= 4);
-        assert!(rep.0 < raw.0, "repeated {} ps ≥ raw {} ps", rep.picos(), raw.picos());
+        assert!(
+            rep.0 < raw.0,
+            "repeated {} ps ≥ raw {} ps",
+            rep.picos(),
+            raw.picos()
+        );
     }
 
     #[test]

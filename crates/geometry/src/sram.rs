@@ -103,8 +103,7 @@ impl SramCell {
     pub fn read_current(&self, tech: &TechnologyNode, knobs: KnobPoint) -> Amperes {
         let scale = tech.cell_scale(knobs.tox());
         let l = tech.drawn_length(knobs.tox());
-        let i =
-            drive::on_current(tech, knobs, self.w_access * scale, l, MosfetKind::Nmos);
+        let i = drive::on_current(tech, knobs, self.w_access * scale, l, MosfetKind::Nmos);
         i * 0.8
     }
 
@@ -154,7 +153,10 @@ mod tests {
         let t = tech();
         let a10 = c.area(&t, k(0.3, 10.0)).0;
         let a14 = c.area(&t, k(0.3, 14.0)).0;
-        assert!(a14 > a10 * 1.2 && a14 < a10 * 2.0, "a10 = {a10}, a14 = {a14}");
+        assert!(
+            a14 > a10 * 1.2 && a14 < a10 * 2.0,
+            "a10 = {a10}, a14 = {a14}"
+        );
     }
 
     #[test]
@@ -196,7 +198,11 @@ mod tests {
     fn gate_dominates_at_thin_oxide() {
         let c = SramCell::default_65nm();
         let b = c.leakage(&tech(), k(0.4, 10.0));
-        assert!(b.gate_fraction() > 0.5, "gate fraction = {}", b.gate_fraction());
+        assert!(
+            b.gate_fraction() > 0.5,
+            "gate fraction = {}",
+            b.gate_fraction()
+        );
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use crate::{Candidate, Group};
 use nm_device::KnobPoint;
+use nm_sweep::ParallelSweep;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -63,12 +64,7 @@ fn evaluate(groups: &[Group], idx: &[usize]) -> (f64, f64) {
 
 /// Minimises total cost subject to `total delay ≤ deadline` by simulated
 /// annealing. Deterministic for a given seed.
-pub fn anneal(
-    groups: &[Group],
-    deadline: f64,
-    config: AnnealConfig,
-    seed: u64,
-) -> AnnealSolution {
+pub fn anneal(groups: &[Group], deadline: f64, config: AnnealConfig, seed: u64) -> AnnealSolution {
     assert!(!groups.is_empty(), "anneal needs at least one group");
     let mut rng = StdRng::seed_from_u64(seed);
 
@@ -139,6 +135,40 @@ pub fn anneal(
     }
 }
 
+/// Runs `restarts` independent annealing chains (seeds `seed`,
+/// `seed + 1`, …) on the bounded executor and returns the best solution:
+/// feasible beats infeasible, then lower cost wins, with ties broken by
+/// the earliest seed so the result is deterministic for any worker count.
+///
+/// # Panics
+///
+/// Panics when `groups` is empty or `restarts == 0`.
+pub fn anneal_restarts(
+    groups: &[Group],
+    deadline: f64,
+    config: AnnealConfig,
+    seed: u64,
+    restarts: usize,
+) -> AnnealSolution {
+    assert!(restarts >= 1, "anneal_restarts needs at least one restart");
+    let seeds: Vec<u64> = (0..restarts as u64).map(|i| seed.wrapping_add(i)).collect();
+    let solutions = ParallelSweep::new()
+        .labeled("anneal-restarts")
+        .map(&seeds, |&s| anneal(groups, deadline, config, s));
+    solutions
+        .into_iter()
+        .reduce(|best, sol| {
+            let better = (sol.feasible && !best.feasible)
+                || (sol.feasible == best.feasible && sol.cost < best.cost);
+            if better {
+                sol
+            } else {
+                best
+            }
+        })
+        .expect("at least one restart ran")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,7 +187,8 @@ mod tests {
             for j in 0..5 {
                 let tox = 10.0 + j as f64;
                 let delay = scale * (1.0 + 3.0 * vth + 0.08 * tox);
-                let cost = scale * ((-12.0 * vth).exp() * 80.0 + (-1.1 * (tox - 10.0)).exp() * 30.0);
+                let cost =
+                    scale * ((-12.0 * vth).exp() * 80.0 + (-1.1 * (tox - 10.0)).exp() * 30.0);
                 cands.push(Candidate::new(k(vth, tox), delay, cost));
             }
         }
@@ -166,7 +197,11 @@ mod tests {
 
     #[test]
     fn anneal_matches_exact_solver_within_tolerance() {
-        let groups = vec![grid_group("a", 1.0), grid_group("b", 1.7), grid_group("c", 0.6)];
+        let groups = vec![
+            grid_group("a", 1.0),
+            grid_group("b", 1.7),
+            grid_group("c", 0.6),
+        ];
         let front = system_front(&groups);
         for deadline in [8.5, 10.0, 12.0] {
             let exact = best_under_deadline(&front, deadline).expect("feasible");
@@ -191,6 +226,31 @@ mod tests {
         let a = anneal(&groups, 8.0, AnnealConfig::default(), 7);
         let b = anneal(&groups, 8.0, AnnealConfig::default(), 7);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn restarts_never_worse_than_single_run_and_deterministic() {
+        let groups = vec![
+            grid_group("a", 1.0),
+            grid_group("b", 1.7),
+            grid_group("c", 0.6),
+        ];
+        let single = anneal(&groups, 9.0, AnnealConfig::default(), 7);
+        let multi = anneal_restarts(&groups, 9.0, AnnealConfig::default(), 7, 4);
+        assert!(multi.feasible);
+        assert!(
+            multi.cost <= single.cost + 1e-12,
+            "restarts {} worse than single {}",
+            multi.cost,
+            single.cost
+        );
+        // Deterministic regardless of worker count.
+        for workers in [1, 3] {
+            nm_sweep::set_global_workers(Some(workers));
+            let again = anneal_restarts(&groups, 9.0, AnnealConfig::default(), 7, 4);
+            assert_eq!(again, multi, "workers = {workers}");
+        }
+        nm_sweep::set_global_workers(None);
     }
 
     #[test]

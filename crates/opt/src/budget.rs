@@ -168,7 +168,11 @@ mod tests {
 
     #[test]
     fn dp_matches_exact_solver_within_binning() {
-        let groups = vec![grid_group("a", 1.0), grid_group("b", 1.7), grid_group("c", 0.6)];
+        let groups = vec![
+            grid_group("a", 1.0),
+            grid_group("b", 1.7),
+            grid_group("c", 0.6),
+        ];
         let front = system_front(&groups);
         for deadline in [8.5, 10.0, 12.0, 15.0] {
             let exact = best_under_deadline(&front, deadline).expect("feasible");

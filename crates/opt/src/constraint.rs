@@ -11,10 +11,7 @@ use crate::merge::FrontPoint;
 pub fn best_under_deadline(front: &[FrontPoint], deadline: f64) -> Option<&FrontPoint> {
     // The front is cost-descending in delay, so the *slowest* feasible
     // point is the cheapest feasible one.
-    front
-        .iter()
-        .take_while(|p| p.delay <= deadline)
-        .last()
+    front.iter().take_while(|p| p.delay <= deadline).last()
 }
 
 /// Returns the fastest front point whose cost is at most `budget`, or

@@ -117,7 +117,10 @@ impl Group {
     /// Panics when `candidates` is empty — an empty group would make the
     /// whole system infeasible and always indicates a caller bug.
     pub fn new(name: impl Into<String>, candidates: Vec<Candidate>) -> Self {
-        assert!(!candidates.is_empty(), "a group needs at least one candidate");
+        assert!(
+            !candidates.is_empty(),
+            "a group needs at least one candidate"
+        );
         Group {
             name: name.into(),
             candidates,

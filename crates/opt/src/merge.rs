@@ -143,7 +143,14 @@ mod tests {
 
     #[test]
     fn single_group_front_is_its_pruned_candidates() {
-        let g = group("a", &[(0.2, 10.0, 1.0, 5.0), (0.3, 10.0, 2.0, 1.0), (0.4, 10.0, 3.0, 2.0)]);
+        let g = group(
+            "a",
+            &[
+                (0.2, 10.0, 1.0, 5.0),
+                (0.3, 10.0, 2.0, 1.0),
+                (0.4, 10.0, 3.0, 2.0),
+            ],
+        );
         let f = system_front(&[g]);
         assert_eq!(f.len(), 2);
         assert_eq!(f[0].choice.len(), 1);
@@ -154,11 +161,19 @@ mod tests {
         // Compare against brute force over all pairs.
         let ga = group(
             "a",
-            &[(0.2, 10.0, 1.0, 9.0), (0.3, 10.0, 2.0, 4.0), (0.4, 10.0, 4.0, 1.0)],
+            &[
+                (0.2, 10.0, 1.0, 9.0),
+                (0.3, 10.0, 2.0, 4.0),
+                (0.4, 10.0, 4.0, 1.0),
+            ],
         );
         let gb = group(
             "b",
-            &[(0.2, 12.0, 1.5, 7.0), (0.3, 12.0, 3.0, 2.0), (0.5, 12.0, 5.0, 0.5)],
+            &[
+                (0.2, 12.0, 1.5, 7.0),
+                (0.3, 12.0, 3.0, 2.0),
+                (0.5, 12.0, 5.0, 0.5),
+            ],
         );
         let front = system_front(&[ga.clone(), gb.clone()]);
 

@@ -129,15 +129,20 @@ mod tests {
             .collect();
         let exact = prune(cands.clone());
         let thinned = prune_epsilon(cands, 0.05);
-        assert!(thinned.len() < exact.len() / 5, "{} vs {}", thinned.len(), exact.len());
+        assert!(
+            thinned.len() < exact.len() / 5,
+            "{} vs {}",
+            thinned.len(),
+            exact.len()
+        );
         assert_eq!(thinned.first().unwrap().delay, exact.first().unwrap().delay);
         assert_eq!(thinned.last().unwrap().delay, exact.last().unwrap().delay);
         // Bounded loss: every exact point has an ε-neighbour no more than
         // (1+eps) worse on both axes.
         for e in &exact {
-            let ok = thinned.iter().any(|t| {
-                t.delay <= e.delay * 1.05 + 1e-12 && t.cost <= e.cost * 1.05 + 1e-12
-            });
+            let ok = thinned
+                .iter()
+                .any(|t| t.delay <= e.delay * 1.05 + 1e-12 && t.cost <= e.cost * 1.05 + 1e-12);
             assert!(ok, "point ({}, {}) uncovered", e.delay, e.cost);
         }
     }

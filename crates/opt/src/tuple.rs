@@ -86,10 +86,8 @@ pub fn optimize_with_tuple_counts(
     for vths in &vth_sets {
         for toxes in &tox_sets {
             // Restrict every group; skip value sets that empty any group.
-            let restricted: Option<Vec<Group>> = groups
-                .iter()
-                .map(|g| g.restricted(vths, toxes))
-                .collect();
+            let restricted: Option<Vec<Group>> =
+                groups.iter().map(|g| g.restricted(vths, toxes)).collect();
             let Some(restricted) = restricted else {
                 continue;
             };

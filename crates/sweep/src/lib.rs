@@ -1,0 +1,411 @@
+//! Bounded, deterministic parallel-sweep executor.
+//!
+//! Every study in this workspace is embarrassingly parallel along some
+//! axis — (L1, L2) size pairs, AMAT targets, Monte-Carlo die corners,
+//! subarray foldings, annealing restarts. Before this crate each hot
+//! path either ran serially or spawned one OS thread per work item; a
+//! 16×16 size grid meant 256 simultaneous simulator threads.
+//!
+//! [`ParallelSweep`] replaces both patterns with a scoped worker pool:
+//!
+//! * **Bounded** — at most `workers` threads run at once, defaulting to
+//!   [`std::thread::available_parallelism`], overridable per sweep with
+//!   [`ParallelSweep::with_workers`], per process with
+//!   [`set_global_workers`], or per environment with `NMCACHE_THREADS`.
+//! * **Deterministic** — work items are pulled from an index-based queue
+//!   and results are reduced in *submission order*, so the output is
+//!   bit-identical no matter how many workers ran or how the scheduler
+//!   interleaved them.
+//! * **Observable** — each sweep can record a [`SweepStats`] entry
+//!   (items, workers, wall time) into a process-wide registry that the
+//!   CLI drains with `--stats`.
+//!
+//! ```
+//! use nm_sweep::ParallelSweep;
+//!
+//! let squares = ParallelSweep::new().map(&[1u64, 2, 3, 4], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Environment variable overriding the default worker count.
+pub const THREADS_ENV: &str = "NMCACHE_THREADS";
+
+/// Process-wide worker-count override (`0` = unset). Set by the CLI's
+/// `--threads` flag so deep call sites that build their own
+/// [`ParallelSweep`] pick it up without plumbing.
+static GLOBAL_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the worker count for every subsequently constructed
+/// [`ParallelSweep`] in this process (`None` restores the default
+/// resolution order). Explicit [`ParallelSweep::with_workers`] calls
+/// still win.
+pub fn set_global_workers(workers: Option<usize>) {
+    GLOBAL_WORKERS.store(workers.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// The current process-wide override, if any.
+pub fn global_workers() -> Option<usize> {
+    match GLOBAL_WORKERS.load(Ordering::Relaxed) {
+        0 => None,
+        n => Some(n),
+    }
+}
+
+/// Resolves the default worker count: process override, then
+/// `NMCACHE_THREADS`, then [`std::thread::available_parallelism`].
+fn default_workers() -> usize {
+    if let Some(n) = global_workers() {
+        return n.max(1);
+    }
+    if let Ok(raw) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// A bounded worker pool that maps a closure over a slice of work items
+/// and returns the results in submission order.
+///
+/// Construction is cheap (no threads are created until [`map`]
+/// (Self::map) runs); build one per sweep.
+#[derive(Debug, Clone)]
+pub struct ParallelSweep {
+    workers: usize,
+    label: Option<String>,
+}
+
+impl ParallelSweep {
+    /// A sweep with the default worker count (see [`set_global_workers`]
+    /// and [`THREADS_ENV`] for the resolution order).
+    pub fn new() -> Self {
+        ParallelSweep {
+            workers: default_workers(),
+            label: None,
+        }
+    }
+
+    /// Overrides the worker count for this sweep (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Labels this sweep's [`SweepStats`] entry (unlabelled sweeps record
+    /// as `"sweep"`).
+    #[must_use]
+    pub fn labeled(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// The configured worker bound.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Applies `f` to every item and returns the results in item order.
+    ///
+    /// At most `min(workers, items.len())` threads run concurrently,
+    /// pulling indices from a shared queue; the output at position `i`
+    /// is always `f(&items[i])`, so results are bit-identical for any
+    /// worker count.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first worker panic on the calling thread.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let start = Instant::now();
+        let n = items.len();
+        let workers = self.workers.min(n.max(1));
+
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+
+        if n > 0 {
+            let next = AtomicUsize::new(0);
+            let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut local = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= n {
+                                    break;
+                                }
+                                local.push((i, f(&items[i])));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| match h.join() {
+                        Ok(results) => results,
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    })
+                    .collect()
+            });
+            for (i, r) in per_worker.into_iter().flatten() {
+                slots[i] = Some(r);
+            }
+        }
+
+        stats::record(SweepStats {
+            label: self.label.clone().unwrap_or_else(|| "sweep".to_owned()),
+            items: n,
+            workers,
+            wall: start.elapsed(),
+        });
+
+        slots
+            .into_iter()
+            .map(|r| r.expect("every index was claimed exactly once"))
+            .collect()
+    }
+}
+
+impl Default for ParallelSweep {
+    fn default() -> Self {
+        ParallelSweep::new()
+    }
+}
+
+/// Timing record of one completed sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepStats {
+    /// Sweep label (from [`ParallelSweep::labeled`]).
+    pub label: String,
+    /// Work items submitted.
+    pub items: usize,
+    /// Worker threads used (≤ the configured bound).
+    pub workers: usize,
+    /// Wall-clock duration of the whole sweep.
+    pub wall: Duration,
+}
+
+impl SweepStats {
+    /// Throughput in items per second (`0.0` for an instantaneous sweep).
+    pub fn items_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.items as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+pub mod stats {
+    //! Process-wide sweep-statistics registry.
+    //!
+    //! Disabled by default so library users pay nothing; the CLI enables
+    //! it for `--stats` and drains it after the command finishes.
+
+    use super::{AtomicBool, Mutex, Ordering, SweepStats};
+
+    static ENABLED: AtomicBool = AtomicBool::new(false);
+    static REGISTRY: Mutex<Vec<SweepStats>> = Mutex::new(Vec::new());
+
+    /// Starts recording sweep statistics.
+    pub fn enable() {
+        ENABLED.store(true, Ordering::Relaxed);
+    }
+
+    /// Stops recording (already-recorded entries are kept until drained).
+    pub fn disable() {
+        ENABLED.store(false, Ordering::Relaxed);
+    }
+
+    /// `true` while recording.
+    pub fn enabled() -> bool {
+        ENABLED.load(Ordering::Relaxed)
+    }
+
+    /// Records one entry (no-op while disabled).
+    pub fn record(entry: SweepStats) {
+        if enabled() {
+            REGISTRY
+                .lock()
+                .expect("stats registry lock is never poisoned")
+                .push(entry);
+        }
+    }
+
+    /// Removes and returns every recorded entry, in recording order.
+    pub fn drain() -> Vec<SweepStats> {
+        std::mem::take(
+            &mut *REGISTRY
+                .lock()
+                .expect("stats registry lock is never poisoned"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_submission_order() {
+        let items: Vec<u64> = (0..257).collect();
+        for workers in [1, 2, 7, 64] {
+            let out = ParallelSweep::new()
+                .with_workers(workers)
+                .map(&items, |&x| x * 3 + 1);
+            let expect: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+            assert_eq!(out, expect, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn identical_results_for_any_worker_count() {
+        let items: Vec<f64> = (0..100).map(|i| i as f64 * 0.37).collect();
+        let run = |w: usize| {
+            ParallelSweep::new()
+                .with_workers(w)
+                .map(&items, |&x| (x.sin() * 1e9).to_bits())
+        };
+        let reference = run(1);
+        for w in [2, 3, 8] {
+            assert_eq!(run(w), reference, "workers = {w}");
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u32> = ParallelSweep::new().map(&[] as &[u32], |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn peak_concurrency_respects_the_bound() {
+        use std::sync::atomic::AtomicUsize;
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..64).collect();
+        ParallelSweep::new().with_workers(3).map(&items, |_| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(Duration::from_millis(1));
+            live.fetch_sub(1, Ordering::SeqCst);
+        });
+        let seen = peak.load(Ordering::SeqCst);
+        assert!(seen <= 3, "peak concurrency {seen} exceeded 3 workers");
+        assert!(seen >= 1);
+    }
+
+    /// Serialises tests that poke the process-wide stats registry.
+    fn stats_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().expect("stats test lock is never poisoned")
+    }
+
+    #[test]
+    fn worker_bound_never_exceeds_item_count() {
+        // A 2-item sweep on a 64-worker pool must not spawn 64 threads;
+        // the recorded stats expose the actual worker count.
+        let _guard = stats_lock();
+        stats::enable();
+        stats::drain();
+        ParallelSweep::new()
+            .with_workers(64)
+            .labeled("tiny")
+            .map(&[1, 2], |&x: &i32| x);
+        let recorded = stats::drain();
+        stats::disable();
+        let entry = recorded
+            .iter()
+            .find(|s| s.label == "tiny")
+            .expect("tiny sweep recorded");
+        assert_eq!(entry.items, 2);
+        assert!(entry.workers <= 2);
+    }
+
+    #[test]
+    fn with_workers_zero_clamps_to_one() {
+        assert_eq!(ParallelSweep::new().with_workers(0).workers(), 1);
+    }
+
+    #[test]
+    fn global_override_applies_to_new_sweeps() {
+        set_global_workers(Some(5));
+        assert_eq!(ParallelSweep::new().workers(), 5);
+        set_global_workers(None);
+        assert!(ParallelSweep::new().workers() >= 1);
+    }
+
+    #[test]
+    fn stats_disabled_by_default_and_drain_clears() {
+        let _guard = stats_lock();
+        stats::drain();
+        ParallelSweep::new().labeled("ignored").map(&[1u8], |&x| x);
+        assert!(
+            stats::drain().iter().all(|s| s.label != "ignored"),
+            "recorded while disabled"
+        );
+
+        stats::enable();
+        ParallelSweep::new().labeled("a").map(&[1u8, 2], |&x| x);
+        ParallelSweep::new().labeled("b").map(&[3u8], |&x| x);
+        let got = stats::drain();
+        stats::disable();
+        let labels: Vec<&str> = got
+            .iter()
+            .map(|s| s.label.as_str())
+            .filter(|l| *l == "a" || *l == "b")
+            .collect();
+        assert!(labels.contains(&"a") && labels.contains(&"b"), "{labels:?}");
+        assert!(stats::drain().iter().all(|s| s.label != "a"));
+    }
+
+    #[test]
+    fn worker_panics_propagate_with_their_message() {
+        let result = std::panic::catch_unwind(|| {
+            ParallelSweep::new().with_workers(2).map(&[0, 1, 2], |&x| {
+                assert!(x != 1, "item {x} is bad");
+                x
+            });
+        });
+        let payload = result.expect_err("sweep must propagate the panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("item 1 is bad"), "lost panic message: {msg}");
+    }
+
+    #[test]
+    fn items_per_sec_is_finite() {
+        let s = SweepStats {
+            label: "x".into(),
+            items: 10,
+            workers: 2,
+            wall: Duration::from_millis(100),
+        };
+        assert!((s.items_per_sec() - 100.0).abs() < 1.0);
+        let zero = SweepStats {
+            wall: Duration::ZERO,
+            ..s
+        };
+        assert_eq!(zero.items_per_sec(), 0.0);
+    }
+}

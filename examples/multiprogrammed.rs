@@ -33,7 +33,10 @@ fn run(workload: &mut dyn Workload, l2_kb: u64) -> (f64, f64) {
 
 fn main() {
     let l2_sizes = [256u64, 1024, 4096];
-    println!("{:<22}{:>12}{:>12}{:>12}", "workload", "L2=256K", "L2=1M", "L2=4M");
+    println!(
+        "{:<22}{:>12}{:>12}{:>12}",
+        "workload", "L2=256K", "L2=1M", "L2=4M"
+    );
     for suite in [SuiteKind::Spec2000, SuiteKind::TpcC, SuiteKind::SpecWeb] {
         print!("{:<22}", suite.name());
         for &l2 in &l2_sizes {

@@ -18,7 +18,11 @@ use nmcache::device::{KnobGrid, TechnologyNode};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (l1, l2) = (16 * 1024, 1024 * 1024);
-    println!("simulating the suite mix on {}K/{}K ...", l1 / 1024, l2 / 1024);
+    println!(
+        "simulating the suite mix on {}K/{}K ...",
+        l1 / 1024,
+        l2 / 1024
+    );
     let suites = [SuiteKind::Spec2000, SuiteKind::TpcC, SuiteKind::SpecWeb];
     let table = MissRateTable::build(&[l1], &[l2], &suites, 2005, 300_000, 600_000);
     let stats = *table.get(l1, l2).expect("pair simulated");

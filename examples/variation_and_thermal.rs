@@ -22,8 +22,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", vs.to_table(&deadlines));
 
     let tech = TechnologyNode::bptm65();
-    let n_vt = Volts(tech.subthreshold_n(nmcache::device::units::Angstroms(12.0))
-        * tech.thermal_voltage().0);
+    let n_vt = Volts(
+        tech.subthreshold_n(nmcache::device::units::Angstroms(12.0)) * tech.thermal_voltage().0,
+    );
     println!(
         "analytic lognormal mean uplift at σVth = 20 mV: {:.1}%",
         (subthreshold_amplification(Volts(0.020), n_vt) - 1.0) * 100.0

@@ -1,0 +1,19 @@
+//! Boolean strategies (`prop::bool::ANY`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Strategy over both booleans, fair coin.
+#[derive(Debug, Clone, Copy)]
+pub struct BoolAny;
+
+/// `prop::bool::ANY` — a fair coin flip.
+pub const ANY: BoolAny = BoolAny;
+
+impl Strategy for BoolAny {
+    type Value = bool;
+    fn sample_one(&self, rng: &mut TestRng) -> bool {
+        rng.gen()
+    }
+}

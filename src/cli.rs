@@ -40,6 +40,9 @@ OPTIONS:
   --trace <PATH>       Trace file for trace-sim
   --l1 <KB>            L1 size in KB (default 16)
   --l2 <KB>            L2 size in KB (default 1024)
+  --threads <N>        Worker threads for parallel sweeps
+                       (default: NMCACHE_THREADS or all cores)
+  --stats              Print per-sweep executor statistics after the run
   -h, --help           Show this help
 ";
 
@@ -116,6 +119,10 @@ pub struct Options {
     pub l1_bytes: u64,
     /// L2 size in bytes.
     pub l2_bytes: u64,
+    /// Worker-thread override for parallel sweeps (`None` = default).
+    pub threads: Option<usize>,
+    /// Print per-sweep executor statistics after the run.
+    pub stats: bool,
 }
 
 impl Default for Options {
@@ -131,6 +138,8 @@ impl Default for Options {
             trace: None,
             l1_bytes: 16 * 1024,
             l2_bytes: 1024 * 1024,
+            threads: None,
+            stats: false,
         }
     }
 }
@@ -227,6 +236,17 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, CliErro
                     .map_err(|_| CliError(format!("bad --l2 value {v:?}")))?;
                 opts.l2_bytes = kb * 1024;
             }
+            "--threads" => {
+                let v = value(&mut i, "--threads")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad --threads value {v:?}")))?;
+                if n == 0 {
+                    return Err(CliError("--threads must be positive".into()));
+                }
+                opts.threads = Some(n);
+            }
+            "--stats" => opts.stats = true,
             other => return Err(CliError(format!("unknown flag {other:?}"))),
         }
         i += 1;
@@ -336,9 +356,32 @@ mod tests {
     #[test]
     fn extension_commands_parse() {
         assert!(matches!(parse_str("decay").unwrap(), Command::Decay(_)));
-        assert!(matches!(parse_str("split-l1 --l2 512").unwrap(), Command::SplitL1(_)));
+        assert!(matches!(
+            parse_str("split-l1 --l2 512").unwrap(),
+            Command::SplitL1(_)
+        ));
         match parse_str("decay --suite tpcc").unwrap() {
             Command::Decay(o) => assert_eq!(o.suite.as_deref(), Some("tpcc")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn threads_and_stats_flags_parse() {
+        match parse_str("fig2 --threads 4 --stats").unwrap() {
+            Command::Fig2(o) => {
+                assert_eq!(o.threads, Some(4));
+                assert!(o.stats);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_str("fig2 --threads 0").is_err());
+        assert!(parse_str("fig2 --threads many").is_err());
+        match parse_str("fig1").unwrap() {
+            Command::Fig1(o) => {
+                assert_eq!(o.threads, None);
+                assert!(!o.stats);
+            }
             other => panic!("{other:?}"),
         }
     }

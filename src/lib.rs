@@ -16,3 +16,4 @@ pub use nm_cache_core as core;
 pub use nm_device as device;
 pub use nm_geometry as geometry;
 pub use nm_opt as opt;
+pub use nm_sweep as sweep;

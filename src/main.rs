@@ -8,12 +8,12 @@ use nmcache::archsim::MissRateTable;
 use nmcache::cli::{self, Command, Options, SchemeArg};
 use nmcache::core::amat::MainMemory;
 use nmcache::core::decay::DecayStudy;
-use nmcache::core::splitl1::SplitL1Study;
 use nmcache::core::fitcheck::fit_report;
 use nmcache::core::groups::Scheme;
 use nmcache::core::memsys::{MemorySystemStudy, TupleCounts};
 use nmcache::core::report::{cell, Series, Table};
 use nmcache::core::single::SingleCacheStudy;
+use nmcache::core::splitl1::SplitL1Study;
 use nmcache::core::thermal::ThermalStudy;
 use nmcache::core::twolevel::{TwoLevelStudy, STANDARD_SUITES};
 use nmcache::core::variation::{paper_16kb_variation, VariationStudy};
@@ -28,7 +28,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match run(command) {
+    let show_stats = configure_sweeps(&command);
+    let result = run(command);
+    if show_stats {
+        let recorded = nmcache::sweep::stats::drain();
+        if !recorded.is_empty() {
+            println!("\n{}", nmcache::core::report::sweep_stats_table(&recorded));
+        }
+    }
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
@@ -37,11 +45,47 @@ fn main() -> ExitCode {
     }
 }
 
+/// Applies the `--threads` override and enables stats recording when
+/// `--stats` was given; returns whether to print the stats table.
+fn configure_sweeps(command: &Command) -> bool {
+    let Some(opts) = options_of(command) else {
+        return false;
+    };
+    if let Some(n) = opts.threads {
+        nmcache::sweep::set_global_workers(Some(n));
+    }
+    if opts.stats {
+        nmcache::sweep::stats::enable();
+    }
+    opts.stats
+}
+
+fn options_of(command: &Command) -> Option<&Options> {
+    match command {
+        Command::Fig1(o)
+        | Command::Fig2(o)
+        | Command::Schemes(o)
+        | Command::L2Sweep(o)
+        | Command::L1Sweep(o)
+        | Command::Ablation(o)
+        | Command::Fit(o)
+        | Command::Explore(o)
+        | Command::MissRates(o)
+        | Command::Variation(o)
+        | Command::Thermal(o)
+        | Command::Decay(o)
+        | Command::SplitL1(o)
+        | Command::TraceSim(o) => Some(o),
+        Command::List | Command::Help => None,
+    }
+}
+
 fn suite_of(opts: &Options) -> Result<SuiteKind, Box<dyn std::error::Error>> {
     match &opts.suite {
         None => Ok(SuiteKind::Spec2000),
-        Some(name) => SuiteKind::from_name(name)
-            .ok_or_else(|| format!("unknown suite {name:?}").into()),
+        Some(name) => {
+            SuiteKind::from_name(name).ok_or_else(|| format!("unknown suite {name:?}").into())
+        }
     }
 }
 
@@ -77,7 +121,13 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
             let series = study.fixed_knob_curves();
             println!(
                 "{}",
-                nmcache::core::plot::ascii_plot(&series, 72, 22, "access time (ps)", "leakage (mW)")
+                nmcache::core::plot::ascii_plot(
+                    &series,
+                    72,
+                    22,
+                    "access time (ps)",
+                    "leakage (mW)"
+                )
             );
             let table = Series::to_table(
                 &series,
@@ -110,12 +160,20 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
         }
         Command::Schemes(opts) => {
             let study = SingleCacheStudy::paper_16kb()?;
-            let deadlines: Vec<_> = study.delay_sweep(opts.steps + 1).into_iter().skip(1).collect();
+            let deadlines: Vec<_> = study
+                .delay_sweep(opts.steps + 1)
+                .into_iter()
+                .skip(1)
+                .collect();
             emit(&study.scheme_comparison(&deadlines), &opts)
         }
         Command::Ablation(opts) => {
             let study = SingleCacheStudy::paper_16kb()?;
-            let deadlines: Vec<_> = study.delay_sweep(opts.steps + 2).into_iter().skip(2).collect();
+            let deadlines: Vec<_> = study
+                .delay_sweep(opts.steps + 2)
+                .into_iter()
+                .skip(2)
+                .collect();
             emit(&study.knob_ablation(&deadlines), &opts)
         }
         Command::Fit(opts) => {
@@ -136,7 +194,14 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
             );
             let mut table = Table::new(
                 format!("Subarray foldings of {config}, ranked by energy-delay product"),
-                &["rows", "cols", "mats", "access (ps)", "read (pJ)", "leak (mW)"],
+                &[
+                    "rows",
+                    "cols",
+                    "mats",
+                    "access (ps)",
+                    "read (pJ)",
+                    "leak (mW)",
+                ],
             );
             for e in ranked.iter().take(opts.steps) {
                 table.push_row(vec![
@@ -154,12 +219,8 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
             let study = TwoLevelStudy::standard(opts.quick);
             let l2_sizes = TwoLevelStudy::standard_l2_sizes();
             let target = study.amat_target(opts.l1_bytes, &l2_sizes, opts.slack)?;
-            let sweep = study.l2_size_sweep(
-                opts.l1_bytes,
-                &l2_sizes,
-                scheme_of(opts.scheme),
-                target,
-            )?;
+            let sweep =
+                study.l2_size_sweep(opts.l1_bytes, &l2_sizes, scheme_of(opts.scheme), target)?;
             emit(&sweep.to_table(), &opts)?;
             if let Some(w) = sweep.winner() {
                 println!("winner: {} KB", w.size_bytes / 1024);
@@ -204,7 +265,12 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
         }
         Command::Variation(opts) => {
             let vs: VariationStudy = paper_16kb_variation(opts.samples, 65)?;
-            let deadlines: Vec<_> = vs.study().delay_sweep(opts.steps).into_iter().skip(2).collect();
+            let deadlines: Vec<_> = vs
+                .study()
+                .delay_sweep(opts.steps)
+                .into_iter()
+                .skip(2)
+                .collect();
             emit(&vs.to_table(&deadlines), &opts)
         }
         Command::Thermal(opts) => {

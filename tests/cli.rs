@@ -35,7 +35,11 @@ fn fig1_writes_csv() {
         .arg(&csv)
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("Tox=10A"));
     assert!(text.contains("Vth=400mV"));
@@ -65,7 +69,11 @@ fn trace_sim_replays_a_file() {
         .arg(&trace)
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("3 references"));
     assert!(text.contains("Trace replay"));

@@ -39,7 +39,9 @@ fn explore_then_optimize_then_stress() {
     // Optimisation on the explored circuit meets its deadline.
     let study = SingleCacheStudy::with_circuit(chosen_circuit.clone(), KnobGrid::coarse());
     let deadline = chosen_circuit.fastest_access_time() * 1.15;
-    let sol = study.optimize(Scheme::Split, deadline).expect("15% slack feasible");
+    let sol = study
+        .optimize(Scheme::Split, deadline)
+        .expect("15% slack feasible");
     assert!(sol.access_time.0 <= deadline.0 + 1e-15);
 
     // The optimum parks the cells conservatively.
@@ -67,9 +69,17 @@ fn exploration_is_consistent_with_sensitivities() {
     let tech = TechnologyNode::bptm65();
     let circuit = CacheCircuit::new(CacheConfig::new(16 * 1024, 64, 4).expect("valid"), &tech);
     let s = component_sensitivity(&circuit, ComponentId::MemoryArray, KnobPoint::fastest());
-    assert!(s.tox_exchange_rate() > 1.0, "tox deal = {}", s.tox_exchange_rate());
+    assert!(
+        s.tox_exchange_rate() > 1.0,
+        "tox deal = {}",
+        s.tox_exchange_rate()
+    );
     // And every component agrees on the signs everywhere we sample.
-    for at in [KnobPoint::fastest(), KnobPoint::nominal(), KnobPoint::lowest_leakage()] {
+    for at in [
+        KnobPoint::fastest(),
+        KnobPoint::nominal(),
+        KnobPoint::lowest_leakage(),
+    ] {
         for s in all_components(&circuit, at) {
             assert!(s.leak_per_vth <= 0.0 && s.leak_per_tox <= 0.0);
         }

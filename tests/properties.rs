@@ -12,9 +12,8 @@ use nmcache::opt::{Candidate, Group};
 use proptest::prelude::*;
 
 fn arb_knobs() -> impl Strategy<Value = KnobPoint> {
-    (0.2f64..=0.5, 10.0f64..=14.0).prop_map(|(v, t)| {
-        KnobPoint::new(Volts(v), Angstroms(t)).expect("in range")
-    })
+    (0.2f64..=0.5, 10.0f64..=14.0)
+        .prop_map(|(v, t)| KnobPoint::new(Volts(v), Angstroms(t)).expect("in range"))
 }
 
 proptest! {
