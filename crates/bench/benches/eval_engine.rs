@@ -1,0 +1,154 @@
+//! Evaluation-engine probe: before/after wall time of the E3 L2-size
+//! sweep, pre-refactor direct pipeline vs the memoizing `Evaluator`.
+//!
+//! "Before" re-runs the seed's inner loop verbatim — rebuild
+//! `cache_groups` (a full grid of `analyze_component` calls per
+//! component), merge the system front, read the constrained optimum —
+//! once per sweep, every sweep. "After" is `TwoLevelStudy::l2_size_sweep`
+//! on its warmed evaluator, which serves every candidate from the
+//! memoized component surfaces. The measured pair lands in
+//! `BENCH_eval.json` at the workspace root so the perf trajectory has a
+//! data point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nm_cache_core::amat::{memory_floor, MainMemory};
+use nm_cache_core::groups::{cache_groups, knobs_from_choice, CostKind, Scheme};
+use nm_cache_core::twolevel::{TwoLevelStudy, BLOCK_BYTES, L1_WAYS, L2_WAYS};
+use nm_device::units::Seconds;
+use nm_device::TechnologyNode;
+use nm_geometry::{CacheCircuit, CacheConfig, ComponentKnobs};
+use nm_opt::constraint::best_under_deadline;
+use nm_opt::merge::system_front;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+const SCHEME: Scheme = Scheme::Uniform;
+const L1_BYTES: u64 = 16 * 1024;
+const SLACK: f64 = 0.10;
+const ITERATIONS: u32 = 10;
+
+fn circuit(bytes: u64, ways: u64, tech: &TechnologyNode) -> CacheCircuit {
+    CacheCircuit::new(
+        CacheConfig::new(bytes, BLOCK_BYTES, ways).expect("standard geometry"),
+        tech,
+    )
+}
+
+/// The seed's E3 inner loop: no caching anywhere, every sweep rebuilds
+/// every candidate group from raw `analyze_component` calls.
+fn direct_sweep(
+    study: &TwoLevelStudy,
+    tech: &TechnologyNode,
+    l2_sizes: &[u64],
+    target: Seconds,
+) -> usize {
+    let l1 = circuit(L1_BYTES, L1_WAYS, tech);
+    let t_l1 = l1.analyze(&ComponentKnobs::default()).access_time();
+    // `TwoLevelStudy::standard` wires in the default main memory.
+    let memory = MainMemory::default();
+    let mut feasible = 0;
+    for &l2_bytes in l2_sizes {
+        let stats = study.stats(L1_BYTES, l2_bytes).expect("sizes simulated");
+        let l2 = circuit(l2_bytes, L2_WAYS, tech);
+        let base = t_l1
+            + memory_floor(
+                stats.l1_miss_rate,
+                stats.l2_local_miss_rate,
+                memory.access_time,
+            );
+        let budget = target.0 - base.0;
+        if budget <= 0.0 {
+            continue;
+        }
+        let groups = cache_groups(
+            &l2,
+            SCHEME,
+            study.grid(),
+            stats.l1_miss_rate,
+            CostKind::LeakagePower,
+        );
+        let front = system_front(&groups);
+        if let Some(point) = best_under_deadline(&front, budget) {
+            black_box(knobs_from_choice(SCHEME, &point.choice));
+            feasible += 1;
+        }
+    }
+    feasible
+}
+
+/// Wall-clock of `iterations` runs of `f`, in milliseconds (mean).
+fn time_ms(iterations: u32, mut f: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iterations {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e3 / f64::from(iterations)
+}
+
+fn bench(c: &mut Criterion) {
+    let study = TwoLevelStudy::standard(true);
+    let tech = TechnologyNode::bptm65();
+    let l2_sizes = TwoLevelStudy::standard_l2_sizes();
+    let target = study
+        .amat_target(L1_BYTES, &l2_sizes, SLACK)
+        .expect("sizes simulated");
+
+    // Cold: the first sweep pays for building the component surfaces.
+    let cold_start = Instant::now();
+    let sweep = study
+        .l2_size_sweep(L1_BYTES, &l2_sizes, SCHEME, target)
+        .expect("sizes simulated");
+    let cold_ms = cold_start.elapsed().as_secs_f64() * 1e3;
+    black_box(&sweep);
+
+    let before_ms = time_ms(ITERATIONS, || {
+        black_box(direct_sweep(&study, &tech, &l2_sizes, target));
+    });
+    let after_ms = time_ms(ITERATIONS, || {
+        black_box(
+            study
+                .l2_size_sweep(L1_BYTES, &l2_sizes, SCHEME, target)
+                .expect("sizes simulated"),
+        );
+    });
+    let speedup = before_ms / after_ms;
+
+    let json = format!(
+        "{{\n  \"experiment\": \"E3 L2-size sweep ({} sizes, {} grid points, {})\",\n  \
+         \"iterations\": {},\n  \"cold_sweep_ms\": {:.3},\n  \"before_direct_ms\": {:.3},\n  \
+         \"after_memoized_ms\": {:.3},\n  \"speedup\": {:.2}\n}}\n",
+        l2_sizes.len(),
+        study.grid().points().count(),
+        SCHEME,
+        ITERATIONS,
+        cold_ms,
+        before_ms,
+        after_ms,
+        speedup
+    );
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_eval.json");
+    std::fs::write(&path, &json).expect("can write BENCH_eval.json");
+    println!("\n{json}");
+    println!("[artifact] {}", path.display());
+
+    c.bench_function("eval/e3_l2_sweep_memoized", |b| {
+        b.iter(|| {
+            black_box(
+                study
+                    .l2_size_sweep(L1_BYTES, &l2_sizes, SCHEME, target)
+                    .expect("sizes simulated"),
+            )
+        })
+    });
+    c.bench_function("eval/e3_l2_sweep_direct", |b| {
+        b.iter(|| black_box(direct_sweep(&study, &tech, &l2_sizes, target)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,166 @@
+//! Compute-once storage for per-component metric surfaces.
+//!
+//! The studies repeatedly evaluate the same circuits over the same knob
+//! grid — E3 and E4 share every surface across schemes, the Figure 2
+//! tuple sweep re-prices identical surfaces at every (tuple, target)
+//! cell. [`MetricsCache`] keys a [`ComponentSurface`] per
+//! `(circuit, component)` so [`CacheCircuit::analyze_component`] runs at
+//! most once per `(component, knob point)` within one
+//! [`Evaluator`](crate::eval::Evaluator).
+
+use nm_device::KnobPoint;
+use nm_geometry::{CacheCircuit, ComponentId, ComponentSurface};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// One cached circuit: the circuit identity plus a compute-once slot per
+/// component surface.
+#[derive(Debug, Default)]
+struct Surfaces {
+    slots: [OnceLock<Arc<ComponentSurface>>; 4],
+}
+
+/// Find-or-compute store of component surfaces, shared across every query
+/// an evaluator answers. Circuits are matched structurally (`PartialEq`)
+/// by linear scan — a study touches a handful of circuits, never enough
+/// to need hashing.
+#[derive(Debug, Default)]
+pub(crate) struct MetricsCache {
+    entries: RwLock<Vec<(CacheCircuit, Arc<Surfaces>)>>,
+    built: AtomicUsize,
+    hits: AtomicUsize,
+}
+
+impl MetricsCache {
+    /// The compute-once slot set for a circuit, inserting an empty entry
+    /// on first sight.
+    fn surfaces_of(&self, circuit: &CacheCircuit) -> Arc<Surfaces> {
+        if let Some((_, s)) = self
+            .entries
+            .read()
+            .expect("metrics cache lock")
+            .iter()
+            .find(|(c, _)| c == circuit)
+        {
+            return Arc::clone(s);
+        }
+        let mut entries = self.entries.write().expect("metrics cache lock");
+        // Re-check under the write lock: another thread may have inserted.
+        if let Some((_, s)) = entries.iter().find(|(c, _)| c == circuit) {
+            return Arc::clone(s);
+        }
+        let surfaces = Arc::new(Surfaces::default());
+        entries.push((circuit.clone(), Arc::clone(&surfaces)));
+        surfaces
+    }
+
+    /// The already-built surface for `(circuit, id)`, if any. Does not
+    /// count as a cache hit — used to plan bulk builds and for opportunistic
+    /// single-point lookups.
+    pub(crate) fn peek(
+        &self,
+        circuit: &CacheCircuit,
+        id: ComponentId,
+    ) -> Option<Arc<ComponentSurface>> {
+        self.entries
+            .read()
+            .expect("metrics cache lock")
+            .iter()
+            .find(|(c, _)| c == circuit)
+            .and_then(|(_, s)| s.slots[id.index()].get().cloned())
+    }
+
+    /// The surface for `(circuit, id)`, computing it over `points` when
+    /// absent. The computation runs at most once per slot even under
+    /// concurrent callers.
+    pub(crate) fn surface(
+        &self,
+        circuit: &CacheCircuit,
+        id: ComponentId,
+        points: &[KnobPoint],
+    ) -> Arc<ComponentSurface> {
+        let surfaces = self.surfaces_of(circuit);
+        let slot = &surfaces.slots[id.index()];
+        if let Some(existing) = slot.get() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(existing);
+        }
+        let built = slot.get_or_init(|| {
+            self.built.fetch_add(1, Ordering::Relaxed);
+            Arc::new(circuit.component_surface(id, points))
+        });
+        Arc::clone(built)
+    }
+
+    /// Installs a surface built externally (the evaluator's parallel bulk
+    /// build). A concurrently installed surface wins the race and this one
+    /// is dropped — both are bit-identical by purity of the circuit model.
+    pub(crate) fn install(
+        &self,
+        circuit: &CacheCircuit,
+        id: ComponentId,
+        surface: ComponentSurface,
+    ) {
+        let surfaces = self.surfaces_of(circuit);
+        if surfaces.slots[id.index()].set(Arc::new(surface)).is_ok() {
+            self.built.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// `(surfaces built, cache hits)` so far.
+    pub(crate) fn stats(&self) -> (usize, usize) {
+        (
+            self.built.load(Ordering::Relaxed),
+            self.hits.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nm_device::{KnobGrid, TechnologyNode};
+    use nm_geometry::CacheConfig;
+
+    fn circuit(bytes: u64) -> CacheCircuit {
+        let tech = TechnologyNode::bptm65();
+        CacheCircuit::new(CacheConfig::new(bytes, 64, 4).unwrap(), &tech)
+    }
+
+    #[test]
+    fn second_lookup_hits_without_rebuilding() {
+        let cache = MetricsCache::default();
+        let c = circuit(16 * 1024);
+        let points: Vec<KnobPoint> = KnobGrid::coarse().points().collect();
+        let a = cache.surface(&c, ComponentId::Decoder, &points);
+        let b = cache.surface(&c, ComponentId::Decoder, &points);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats(), (1, 1));
+    }
+
+    #[test]
+    fn distinct_circuits_get_distinct_surfaces() {
+        let cache = MetricsCache::default();
+        let points: Vec<KnobPoint> = KnobGrid::coarse().points().collect();
+        let small = cache.surface(&circuit(16 * 1024), ComponentId::MemoryArray, &points);
+        let big = cache.surface(&circuit(64 * 1024), ComponentId::MemoryArray, &points);
+        assert_ne!(small.metrics()[0], big.metrics()[0]);
+        assert_eq!(cache.stats(), (2, 0));
+    }
+
+    #[test]
+    fn peek_and_install_round_trip() {
+        let cache = MetricsCache::default();
+        let c = circuit(16 * 1024);
+        let points: Vec<KnobPoint> = KnobGrid::coarse().points().collect();
+        assert!(cache.peek(&c, ComponentId::DataBus).is_none());
+        cache.install(
+            &c,
+            ComponentId::DataBus,
+            c.component_surface(ComponentId::DataBus, &points),
+        );
+        let peeked = cache.peek(&c, ComponentId::DataBus).expect("installed");
+        assert_eq!(peeked.len(), points.len());
+        assert_eq!(cache.stats(), (1, 0));
+    }
+}

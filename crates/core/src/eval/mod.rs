@@ -1,0 +1,434 @@
+//! The shared evaluation engine behind every study pipeline.
+//!
+//! Historically each study (Section 4 single-cache, Section 5 two-level,
+//! the split-L1 extension, the Figure 2 memory system) wired its own
+//! copy of the same pipeline: enumerate the knob grid per component
+//! group, price candidates, merge to a system Pareto front, read the
+//! optimum off it, and reconstruct knob assignments from the winning
+//! choice vector. This module owns that pipeline once:
+//!
+//! * a [`HierarchySpec`] *describes* the problem — cache levels, their
+//!   [`Scheme`](crate::groups::Scheme) grouping, delay weights and
+//!   [`CostKind`](crate::groups::CostKind) pricing;
+//! * any [`Constraint`](nm_opt::objective::Constraint) describes what
+//!   "optimal" means (a [`Deadline`](nm_opt::objective::Deadline) for the
+//!   iso-delay/iso-AMAT studies);
+//! * the [`Evaluator`] runs the pipeline, **memoizing** component metric
+//!   surfaces per `(circuit, component)` and Pareto fronts per spec, so
+//!   each `(component, knob point)` is analysed exactly once no matter
+//!   how many schemes, deadlines or tuple restrictions ride on it.
+//!
+//! Results are bit-identical to the direct pipeline: the circuit model is
+//! pure, so cached metrics equal freshly computed ones, and the engine
+//! routes pricing through the same
+//! [`candidate_from_metrics`](crate::groups::candidate_from_metrics) path
+//! with the same summation order as [`crate::groups::cache_groups`].
+
+mod cache;
+mod spec;
+
+pub use spec::{HierarchySpec, LevelSpec};
+
+use crate::groups::candidate_from_metrics;
+use cache::MetricsCache;
+use nm_device::{KnobGrid, KnobPoint};
+use nm_geometry::{
+    CacheCircuit, CacheMetrics, ComponentId, ComponentKnobs, ComponentSurface, COMPONENT_IDS,
+};
+use nm_opt::merge::{system_front, FrontPoint};
+use nm_opt::objective::Constraint;
+use nm_opt::{Candidate, Group};
+use nm_sweep::ParallelSweep;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// A constrained optimum produced by [`Evaluator::solve`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Weighted system delay of the winning point (seconds).
+    pub delay: f64,
+    /// Total system cost of the winning point (watts or joules, per the
+    /// spec's [`CostKind`](crate::groups::CostKind)s).
+    pub cost: f64,
+    /// The winning per-group knob choice, in spec group order.
+    pub choice: Vec<KnobPoint>,
+    /// The choice resolved to one [`ComponentKnobs`] per level, via the
+    /// canonical [`HierarchySpec::knobs_from_choice`].
+    pub knobs: Vec<ComponentKnobs>,
+}
+
+/// Memoization counters of one [`Evaluator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EvalStats {
+    /// Component surfaces computed (grid-wide `analyze_component` passes).
+    pub surfaces_built: usize,
+    /// Surface requests served from the cache.
+    pub surface_hits: usize,
+    /// System Pareto fronts merged.
+    pub fronts_built: usize,
+    /// Front requests served from the cache.
+    pub front_hits: usize,
+}
+
+/// The memoizing evaluation pipeline. One evaluator owns one knob grid;
+/// every query against it shares the same metric-surface and front
+/// caches.
+pub struct Evaluator {
+    grid: KnobGrid,
+    points: Vec<KnobPoint>,
+    cache: MetricsCache,
+    fronts: RwLock<Vec<(HierarchySpec, Arc<Vec<FrontPoint>>)>>,
+    fronts_built: AtomicUsize,
+    front_hits: AtomicUsize,
+}
+
+impl Evaluator {
+    /// Creates an evaluator over a knob grid with empty caches.
+    pub fn new(grid: KnobGrid) -> Self {
+        let points = grid.points().collect();
+        Evaluator {
+            grid,
+            points,
+            cache: MetricsCache::default(),
+            fronts: RwLock::new(Vec::new()),
+            fronts_built: AtomicUsize::new(0),
+            front_hits: AtomicUsize::new(0),
+        }
+    }
+
+    /// The knob grid every surface and front is enumerated over.
+    pub fn grid(&self) -> &KnobGrid {
+        &self.grid
+    }
+
+    /// Memoization counters so far.
+    pub fn stats(&self) -> EvalStats {
+        let (surfaces_built, surface_hits) = self.cache.stats();
+        EvalStats {
+            surfaces_built,
+            surface_hits,
+            fronts_built: self.fronts_built.load(Ordering::Relaxed),
+            front_hits: self.front_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Builds every not-yet-cached component surface a spec needs, fanning
+    /// the builds out through one bounded [`ParallelSweep`].
+    ///
+    /// Calling this before spawning parallel per-query jobs (the Figure 2
+    /// tuple sweep) pre-warms the cache so the jobs never start nested
+    /// sweeps; it is also called internally by [`groups`](Self::groups),
+    /// where an all-cached spec skips the sweep entirely.
+    pub fn ensure_surfaces(&self, spec: &HierarchySpec) {
+        let mut jobs: Vec<(CacheCircuit, ComponentId)> = Vec::new();
+        for level in spec.levels() {
+            for id in COMPONENT_IDS {
+                if self.cache.peek(level.circuit(), id).is_none()
+                    && !jobs.iter().any(|(c, i)| *i == id && c == level.circuit())
+                {
+                    jobs.push((level.circuit().clone(), id));
+                }
+            }
+        }
+        if jobs.is_empty() {
+            return;
+        }
+        let built: Vec<ComponentSurface> = ParallelSweep::new()
+            .labeled("eval-surfaces")
+            .map(&jobs, |(circuit, id)| {
+                circuit.component_surface(*id, &self.points)
+            });
+        for ((circuit, id), surface) in jobs.iter().zip(built) {
+            self.cache.install(circuit, *id, surface);
+        }
+    }
+
+    /// The optimiser groups of a spec — bit-identical to concatenating
+    /// [`cache_groups`](crate::groups::cache_groups) per level, but the
+    /// metric surfaces behind the candidates are memoized.
+    pub fn groups(&self, spec: &HierarchySpec) -> Vec<Group> {
+        self.ensure_surfaces(spec);
+        spec.levels()
+            .iter()
+            .flat_map(|level| self.level_groups(level))
+            .collect()
+    }
+
+    fn level_groups(&self, level: &LevelSpec) -> Vec<Group> {
+        let surfaces: [Arc<ComponentSurface>; 4] =
+            COMPONENT_IDS.map(|id| self.cache.surface(level.circuit(), id, &self.points));
+        level
+            .scheme()
+            .layout()
+            .iter()
+            .map(|(ids, suffix)| {
+                let candidates: Vec<Candidate> = self
+                    .points
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &p)| {
+                        candidate_from_metrics(
+                            ids.iter().map(|id| &surfaces[id.index()].metrics()[i]),
+                            p,
+                            level.delay_weight(),
+                            level.cost(),
+                        )
+                    })
+                    .collect();
+                Group::new(format!("{}:{suffix}", level.circuit().config()), candidates)
+            })
+            .collect()
+    }
+
+    /// The system Pareto front of a spec, memoized per spec.
+    pub fn front(&self, spec: &HierarchySpec) -> Arc<Vec<FrontPoint>> {
+        if let Some(front) = self.cached_front(spec) {
+            self.front_hits.fetch_add(1, Ordering::Relaxed);
+            return front;
+        }
+        let front = Arc::new(system_front(&self.groups(spec)));
+        let mut fronts = self.fronts.write().expect("front cache lock");
+        // Keep the first-stored front if another thread raced us there —
+        // both are bit-identical, but callers may compare Arc pointers.
+        if let Some((_, existing)) = fronts.iter().find(|(s, _)| s == spec) {
+            return Arc::clone(existing);
+        }
+        fronts.push((spec.clone(), Arc::clone(&front)));
+        self.fronts_built.fetch_add(1, Ordering::Relaxed);
+        front
+    }
+
+    fn cached_front(&self, spec: &HierarchySpec) -> Option<Arc<Vec<FrontPoint>>> {
+        self.fronts
+            .read()
+            .expect("front cache lock")
+            .iter()
+            .find(|(s, _)| s == spec)
+            .map(|(_, f)| Arc::clone(f))
+    }
+
+    /// Reads a constrained optimum off the spec's (memoized) front, or
+    /// `None` when the constraint is infeasible.
+    pub fn solve<C: Constraint>(&self, spec: &HierarchySpec, constraint: &C) -> Option<Solution> {
+        let front = self.front(spec);
+        let point = constraint.select(&front)?;
+        Some(self.solution(spec, point))
+    }
+
+    /// [`solve`](Self::solve) with every group restricted to knob values
+    /// drawn from the given `Vth`/`Tox` value sets (the single-knob
+    /// ablation and tuple-count experiments). Returns `None` when the
+    /// restriction empties a group or the constraint is infeasible.
+    ///
+    /// Restricted fronts are not memoized — value-set restrictions are
+    /// exponentially many — but the metric surfaces they re-price are.
+    pub fn solve_restricted<C: Constraint>(
+        &self,
+        spec: &HierarchySpec,
+        vths: &[f64],
+        toxes: &[f64],
+        constraint: &C,
+    ) -> Option<Solution> {
+        let groups = self.groups(spec);
+        let restricted: Option<Vec<Group>> =
+            groups.iter().map(|g| g.restricted(vths, toxes)).collect();
+        let front = system_front(&restricted?);
+        let point = constraint.select(&front)?;
+        Some(self.solution(spec, point))
+    }
+
+    fn solution(&self, spec: &HierarchySpec, point: &FrontPoint) -> Solution {
+        Solution {
+            delay: point.delay,
+            cost: point.cost,
+            choice: point.choice.clone(),
+            knobs: spec.knobs_from_choice(&point.choice),
+        }
+    }
+
+    /// Analyses a whole cache under an assignment, reading per-component
+    /// metrics from already-built surfaces where the knob pair is on the
+    /// grid and falling back to direct analysis where it is not. Both
+    /// paths are bit-identical — the circuit model is pure.
+    pub fn analyze(&self, circuit: &CacheCircuit, knobs: &ComponentKnobs) -> CacheMetrics {
+        let per_component = COMPONENT_IDS.map(|id| {
+            let p = knobs.get(id);
+            self.cache
+                .peek(circuit, id)
+                .and_then(|s| s.lookup(p).copied())
+                .unwrap_or_else(|| circuit.analyze_component(id, p))
+        });
+        CacheMetrics::from_components(per_component)
+    }
+}
+
+impl Clone for Evaluator {
+    /// A fresh evaluator over the same grid; memoized state is not
+    /// carried over (it regrows on first use).
+    fn clone(&self) -> Self {
+        Evaluator::new(self.grid.clone())
+    }
+}
+
+impl fmt::Debug for Evaluator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Evaluator")
+            .field("grid", &self.grid)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::groups::{cache_groups, CostKind, Scheme};
+    use nm_device::TechnologyNode;
+    use nm_geometry::CacheConfig;
+    use nm_opt::constraint::best_under_deadline;
+    use nm_opt::objective::Deadline;
+
+    fn circuit(bytes: u64) -> CacheCircuit {
+        let tech = TechnologyNode::bptm65();
+        CacheCircuit::new(CacheConfig::new(bytes, 64, 4).unwrap(), &tech)
+    }
+
+    fn eval() -> Evaluator {
+        Evaluator::new(KnobGrid::coarse())
+    }
+
+    #[test]
+    fn groups_match_direct_cache_groups_exactly() {
+        let e = eval();
+        let c = circuit(16 * 1024);
+        for scheme in Scheme::ALL {
+            let spec = HierarchySpec::single(c.clone(), scheme, 1.0, CostKind::LeakagePower);
+            let direct = cache_groups(&c, scheme, e.grid(), 1.0, CostKind::LeakagePower);
+            assert_eq!(e.groups(&spec), direct, "{scheme}");
+        }
+        // All three schemes priced the same four surfaces: 4 builds.
+        assert_eq!(e.stats().surfaces_built, 4);
+    }
+
+    #[test]
+    fn front_is_memoized_per_spec() {
+        let e = eval();
+        let spec = HierarchySpec::single(
+            circuit(16 * 1024),
+            Scheme::Split,
+            1.0,
+            CostKind::LeakagePower,
+        );
+        let a = e.front(&spec);
+        let b = e.front(&spec);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(e.stats().fronts_built, 1);
+        assert_eq!(e.stats().front_hits, 1);
+        // A different weight is a different spec.
+        let other = HierarchySpec::single(
+            circuit(16 * 1024),
+            Scheme::Split,
+            0.5,
+            CostKind::LeakagePower,
+        );
+        let c = e.front(&other);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(e.stats().fronts_built, 2);
+    }
+
+    #[test]
+    fn solve_matches_manual_pipeline() {
+        let e = eval();
+        let c = circuit(16 * 1024);
+        let spec = HierarchySpec::single(c.clone(), Scheme::Split, 1.0, CostKind::LeakagePower);
+        let front = system_front(&cache_groups(
+            &c,
+            Scheme::Split,
+            e.grid(),
+            1.0,
+            CostKind::LeakagePower,
+        ));
+        let deadline = front.last().expect("non-empty front").delay;
+        let manual = best_under_deadline(&front, deadline).expect("feasible");
+        let sol = e.solve(&spec, &Deadline(deadline)).expect("feasible");
+        assert_eq!(sol.delay, manual.delay);
+        assert_eq!(sol.cost, manual.cost);
+        assert_eq!(sol.choice, manual.choice);
+        assert_eq!(sol.knobs.len(), 1);
+        // Infeasible deadline: None.
+        assert!(e.solve(&spec, &Deadline(front[0].delay * 0.5)).is_none());
+    }
+
+    #[test]
+    fn ensure_surfaces_prewarms_and_is_idempotent() {
+        let e = eval();
+        let spec = HierarchySpec::new()
+            .level(
+                "L1",
+                circuit(16 * 1024),
+                Scheme::Split,
+                1.0,
+                CostKind::LeakagePower,
+            )
+            .level(
+                "L2",
+                circuit(64 * 1024),
+                Scheme::Split,
+                0.05,
+                CostKind::LeakagePower,
+            );
+        e.ensure_surfaces(&spec);
+        assert_eq!(e.stats().surfaces_built, 8);
+        e.ensure_surfaces(&spec);
+        assert_eq!(e.stats().surfaces_built, 8);
+        // Repeated levels of the same circuit build only once.
+        let dup = HierarchySpec::new()
+            .level(
+                "a",
+                circuit(32 * 1024),
+                Scheme::Uniform,
+                1.0,
+                CostKind::LeakagePower,
+            )
+            .level(
+                "b",
+                circuit(32 * 1024),
+                Scheme::Split,
+                1.0,
+                CostKind::LeakagePower,
+            );
+        e.ensure_surfaces(&dup);
+        assert_eq!(e.stats().surfaces_built, 12);
+    }
+
+    #[test]
+    fn analyze_agrees_with_direct_analysis() {
+        let e = eval();
+        let c = circuit(16 * 1024);
+        // Off-grid (cache cold): pure fallback.
+        let knobs = ComponentKnobs::default();
+        assert_eq!(e.analyze(&c, &knobs), c.analyze(&knobs));
+        // On-grid after warming: served from surfaces, still identical.
+        let spec = HierarchySpec::single(c.clone(), Scheme::Uniform, 1.0, CostKind::LeakagePower);
+        e.ensure_surfaces(&spec);
+        let p = e.grid().snap(KnobPoint::nominal());
+        let on_grid = ComponentKnobs::uniform(p);
+        assert_eq!(e.analyze(&c, &on_grid), c.analyze(&on_grid));
+    }
+
+    #[test]
+    fn clone_starts_cold() {
+        let e = eval();
+        let spec = HierarchySpec::single(
+            circuit(16 * 1024),
+            Scheme::Uniform,
+            1.0,
+            CostKind::LeakagePower,
+        );
+        let _ = e.front(&spec);
+        let fresh = e.clone();
+        assert_eq!(fresh.stats(), EvalStats::default());
+        assert_eq!(fresh.grid().len(), e.grid().len());
+    }
+}

@@ -1,0 +1,209 @@
+//! Declarative description of what a study evaluates: the cache levels,
+//! their knob-grouping schemes, and how each level's delay and cost enter
+//! the system objective.
+
+use crate::groups::{knobs_from_choice, CostKind, Scheme};
+use nm_device::KnobPoint;
+use nm_geometry::{CacheCircuit, ComponentKnobs};
+
+/// One cache level of a hierarchy: a circuit, the assignment [`Scheme`]
+/// grouping its knobs, the weight its delay carries in the system
+/// objective (1 for an L1, the L1 miss rate for an L2 in an AMAT study)
+/// and the [`CostKind`] its groups are priced under.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelSpec {
+    label: String,
+    circuit: CacheCircuit,
+    scheme: Scheme,
+    delay_weight: f64,
+    cost: CostKind,
+}
+
+impl LevelSpec {
+    /// Human-readable level label ("L1", "D$", …).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The level's circuit model.
+    pub fn circuit(&self) -> &CacheCircuit {
+        &self.circuit
+    }
+
+    /// The knob-grouping scheme.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// The level's delay weight in the system objective.
+    pub fn delay_weight(&self) -> f64 {
+        self.delay_weight
+    }
+
+    /// How the level's groups are priced.
+    pub fn cost(&self) -> CostKind {
+        self.cost
+    }
+}
+
+/// An ordered set of [`LevelSpec`]s — the full description of one
+/// evaluation problem. Two equal specs describe the same optimisation, so
+/// the [`Evaluator`](crate::eval::Evaluator) memoizes fronts keyed on it.
+///
+/// Group order across the system is the concatenation of each level's
+/// [`Scheme::layout`] in level order; a front point's choice vector uses
+/// the same order, and [`knobs_from_choice`](Self::knobs_from_choice) is
+/// the one canonical way to slice it back into per-level assignments.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HierarchySpec {
+    levels: Vec<LevelSpec>,
+}
+
+impl HierarchySpec {
+    /// An empty hierarchy; add levels with [`level`](Self::level).
+    pub fn new() -> Self {
+        HierarchySpec { levels: Vec::new() }
+    }
+
+    /// Appends a cache level (builder style). Levels are evaluated — and
+    /// their groups ordered — in insertion order.
+    #[must_use]
+    pub fn level(
+        mut self,
+        label: impl Into<String>,
+        circuit: CacheCircuit,
+        scheme: Scheme,
+        delay_weight: f64,
+        cost: CostKind,
+    ) -> Self {
+        self.levels.push(LevelSpec {
+            label: label.into(),
+            circuit,
+            scheme,
+            delay_weight,
+            cost,
+        });
+        self
+    }
+
+    /// A one-level hierarchy (the Section 4 single-cache studies).
+    pub fn single(
+        circuit: CacheCircuit,
+        scheme: Scheme,
+        delay_weight: f64,
+        cost: CostKind,
+    ) -> Self {
+        Self::new().level("cache", circuit, scheme, delay_weight, cost)
+    }
+
+    /// The levels, in evaluation order.
+    pub fn levels(&self) -> &[LevelSpec] {
+        &self.levels
+    }
+
+    /// Total number of knob-sharing groups across all levels — the length
+    /// of a front point's choice vector for this spec.
+    pub fn group_count(&self) -> usize {
+        self.levels.iter().map(|l| l.scheme.group_count()).sum()
+    }
+
+    /// Reconstructs each level's [`ComponentKnobs`] from a front point's
+    /// choice vector — the single canonical choice-slicing path (each
+    /// level consumes [`Scheme::group_count`] entries in level order).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `choice` does not have exactly
+    /// [`group_count`](Self::group_count) entries.
+    pub fn knobs_from_choice(&self, choice: &[KnobPoint]) -> Vec<ComponentKnobs> {
+        assert_eq!(
+            choice.len(),
+            self.group_count(),
+            "choice length does not match the spec's group count"
+        );
+        let mut offset = 0;
+        self.levels
+            .iter()
+            .map(|l| {
+                let n = l.scheme.group_count();
+                let knobs = knobs_from_choice(l.scheme, &choice[offset..offset + n]);
+                offset += n;
+                knobs
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nm_device::TechnologyNode;
+    use nm_geometry::{CacheConfig, ComponentId};
+
+    fn circuit(bytes: u64) -> CacheCircuit {
+        let tech = TechnologyNode::bptm65();
+        CacheCircuit::new(CacheConfig::new(bytes, 64, 4).unwrap(), &tech)
+    }
+
+    #[test]
+    fn group_count_sums_levels() {
+        let spec = HierarchySpec::new()
+            .level(
+                "L1",
+                circuit(16 * 1024),
+                Scheme::Split,
+                1.0,
+                CostKind::LeakagePower,
+            )
+            .level(
+                "L2",
+                circuit(64 * 1024),
+                Scheme::PerComponent,
+                0.05,
+                CostKind::LeakagePower,
+            );
+        assert_eq!(spec.group_count(), 6);
+        assert_eq!(spec.levels().len(), 2);
+        assert_eq!(spec.levels()[0].label(), "L1");
+    }
+
+    #[test]
+    fn knobs_from_choice_slices_per_level() {
+        let spec = HierarchySpec::new()
+            .level(
+                "L1",
+                circuit(16 * 1024),
+                Scheme::Split,
+                1.0,
+                CostKind::LeakagePower,
+            )
+            .level(
+                "L2",
+                circuit(64 * 1024),
+                Scheme::Uniform,
+                0.05,
+                CostKind::LeakagePower,
+            );
+        let a = KnobPoint::fastest();
+        let b = KnobPoint::lowest_leakage();
+        let n = KnobPoint::nominal();
+        let knobs = spec.knobs_from_choice(&[b, a, n]);
+        assert_eq!(knobs.len(), 2);
+        assert_eq!(knobs[0][ComponentId::MemoryArray], b);
+        assert_eq!(knobs[0][ComponentId::Decoder], a);
+        assert_eq!(knobs[1][ComponentId::MemoryArray], n);
+        assert_eq!(knobs[1][ComponentId::DataBus], n);
+    }
+
+    #[test]
+    #[should_panic(expected = "group count")]
+    fn wrong_choice_length_panics() {
+        let spec = HierarchySpec::single(
+            circuit(16 * 1024),
+            Scheme::Split,
+            1.0,
+            CostKind::LeakagePower,
+        );
+        let _ = spec.knobs_from_choice(&[KnobPoint::nominal()]);
+    }
+}

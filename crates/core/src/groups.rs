@@ -2,7 +2,8 @@
 //! candidate-group construction.
 
 use nm_device::{KnobGrid, KnobPoint};
-use nm_geometry::{CacheCircuit, ComponentId, ComponentKnobs, COMPONENT_IDS};
+use nm_geometry::{CacheCircuit, ComponentId, ComponentKnobs, ComponentMetrics, COMPONENT_IDS};
+use nm_opt::objective::{self, MetricSample, Objective};
 use nm_opt::{Candidate, Group};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -31,6 +32,47 @@ impl Scheme {
             Scheme::Uniform => "III",
         }
     }
+
+    /// Number of knob-sharing groups the scheme creates per cache — the
+    /// length of the per-cache slice of a front point's choice vector.
+    pub fn group_count(self) -> usize {
+        match self {
+            Scheme::PerComponent => 4,
+            Scheme::Split => 2,
+            Scheme::Uniform => 1,
+        }
+    }
+
+    /// The scheme's group layout, in group order: each entry is the tied
+    /// component set and the group-name suffix (the full group name is
+    /// `"{config}:{suffix}"`).
+    ///
+    /// This is the single source of truth shared by [`cache_groups`], the
+    /// evaluation engine ([`crate::eval`]) and [`knobs_from_choice`] — the
+    /// three must agree on group order or knob reconstruction silently
+    /// permutes assignments.
+    pub fn layout(self) -> Vec<(Vec<ComponentId>, String)> {
+        match self {
+            Scheme::PerComponent => COMPONENT_IDS
+                .iter()
+                .map(|&id| (vec![id], id.to_string()))
+                .collect(),
+            Scheme::Split => {
+                let periphery: Vec<ComponentId> = COMPONENT_IDS
+                    .into_iter()
+                    .filter(|id| id.is_peripheral())
+                    .collect();
+                vec![
+                    (
+                        vec![ComponentId::MemoryArray],
+                        ComponentId::MemoryArray.to_string(),
+                    ),
+                    (periphery, "periphery".to_owned()),
+                ]
+            }
+            Scheme::Uniform => vec![(COMPONENT_IDS.to_vec(), "uniform".to_owned())],
+        }
+    }
 }
 
 impl fmt::Display for Scheme {
@@ -57,6 +99,48 @@ pub enum CostKind {
         /// Store fraction of the accesses reaching this cache.
         write_fraction: f64,
     },
+}
+
+impl Objective for CostKind {
+    fn cost(&self, sample: &MetricSample) -> f64 {
+        match *self {
+            CostKind::LeakagePower => sample.leakage,
+            CostKind::Energy {
+                t_ref,
+                access_rate,
+                write_fraction,
+            } => {
+                let dynamic = (1.0 - write_fraction) * sample.read_energy
+                    + write_fraction * sample.write_energy;
+                sample.leakage * t_ref + access_rate * dynamic
+            }
+        }
+    }
+}
+
+/// Sums per-component metrics (in the given iteration order) into the raw
+/// [`MetricSample`] an [`Objective`] prices.
+pub(crate) fn sample_over<'a>(metrics: impl Iterator<Item = &'a ComponentMetrics>) -> MetricSample {
+    let mut sample = MetricSample::default();
+    for m in metrics {
+        sample.delay += m.delay.0;
+        sample.leakage += m.leakage.total().0;
+        sample.read_energy += m.read_energy.0;
+        sample.write_energy += m.write_energy.0;
+    }
+    sample
+}
+
+/// Prices a tied component set's summed metrics as one candidate — the
+/// one pricing path shared by [`cache_groups`] and the evaluation
+/// engine's memoized surfaces, so both produce bit-identical candidates.
+pub(crate) fn candidate_from_metrics<'a>(
+    metrics: impl Iterator<Item = &'a ComponentMetrics>,
+    p: KnobPoint,
+    delay_weight: f64,
+    cost: CostKind,
+) -> Candidate {
+    objective::price(p, &sample_over(metrics), delay_weight, &cost)
 }
 
 /// Evaluates one component of a circuit over the whole grid as an
@@ -103,29 +187,11 @@ fn make_candidate(
     delay_weight: f64,
     cost: CostKind,
 ) -> Candidate {
-    let mut delay = 0.0;
-    let mut leak = 0.0;
-    let mut read_energy = 0.0;
-    let mut write_energy = 0.0;
-    for &id in ids {
-        let m = circuit.analyze_component(id, p);
-        delay += m.delay.0;
-        leak += m.leakage.total().0;
-        read_energy += m.read_energy.0;
-        write_energy += m.write_energy.0;
-    }
-    let cost_value = match cost {
-        CostKind::LeakagePower => leak,
-        CostKind::Energy {
-            t_ref,
-            access_rate,
-            write_fraction,
-        } => {
-            let dynamic = (1.0 - write_fraction) * read_energy + write_fraction * write_energy;
-            leak * t_ref + access_rate * dynamic
-        }
-    };
-    Candidate::new(p, delay_weight * delay, cost_value)
+    let metrics: Vec<ComponentMetrics> = ids
+        .iter()
+        .map(|&id| circuit.analyze_component(id, p))
+        .collect();
+    candidate_from_metrics(metrics.iter(), p, delay_weight, cost)
 }
 
 /// Builds the optimiser groups for one cache under a scheme.
@@ -143,30 +209,11 @@ pub fn cache_groups(
     delay_weight: f64,
     cost: CostKind,
 ) -> Vec<Group> {
-    match scheme {
-        Scheme::PerComponent => COMPONENT_IDS
-            .iter()
-            .map(|&id| component_group(circuit, id, grid, delay_weight, cost))
-            .collect(),
-        Scheme::Split => {
-            let periphery: Vec<ComponentId> = COMPONENT_IDS
-                .into_iter()
-                .filter(|id| id.is_peripheral())
-                .collect();
-            vec![
-                component_group(circuit, ComponentId::MemoryArray, grid, delay_weight, cost),
-                tied_group(circuit, &periphery, "periphery", grid, delay_weight, cost),
-            ]
-        }
-        Scheme::Uniform => vec![tied_group(
-            circuit,
-            &COMPONENT_IDS,
-            "uniform",
-            grid,
-            delay_weight,
-            cost,
-        )],
-    }
+    scheme
+        .layout()
+        .iter()
+        .map(|(ids, suffix)| tied_group(circuit, ids, suffix, grid, delay_weight, cost))
+        .collect()
 }
 
 /// Reconstructs a full [`ComponentKnobs`] from the per-group knob choice
@@ -309,6 +356,49 @@ mod tests {
         assert_eq!(u[ComponentId::Decoder], a);
         let pc = knobs_from_choice(Scheme::PerComponent, &[a, b, a, b]);
         assert_eq!(pc[ComponentId::Decoder], b);
+    }
+
+    #[test]
+    fn layout_partitions_components_and_matches_group_names() {
+        let c = circuit();
+        let grid = KnobGrid::coarse();
+        for scheme in Scheme::ALL {
+            let layout = scheme.layout();
+            assert_eq!(layout.len(), scheme.group_count(), "{scheme}");
+            // Every component appears exactly once across the layout.
+            let mut seen: Vec<ComponentId> =
+                layout.iter().flat_map(|(ids, _)| ids.clone()).collect();
+            seen.sort_by_key(|id| id.index());
+            assert_eq!(seen, COMPONENT_IDS.to_vec(), "{scheme}");
+            // Group names derive from the layout suffixes.
+            let groups = cache_groups(&c, scheme, &grid, 1.0, CostKind::LeakagePower);
+            for (g, (_, suffix)) in groups.iter().zip(&layout) {
+                assert_eq!(g.name(), format!("{}:{suffix}", c.config()));
+            }
+        }
+    }
+
+    #[test]
+    fn cost_kind_objective_matches_candidate_cost() {
+        let c = circuit();
+        let grid = KnobGrid::coarse();
+        let energy = CostKind::Energy {
+            t_ref: 1.5e-9,
+            access_rate: 0.07,
+            write_fraction: 0.25,
+        };
+        for cost in [CostKind::LeakagePower, energy] {
+            let g = tied_group(&c, &COMPONENT_IDS, "all", &grid, 1.0, cost);
+            for cand in g.candidates() {
+                let metrics: Vec<ComponentMetrics> = COMPONENT_IDS
+                    .iter()
+                    .map(|&id| c.analyze_component(id, cand.knobs))
+                    .collect();
+                let sample = sample_over(metrics.iter());
+                assert_eq!(cand.cost, cost.cost(&sample));
+                assert_eq!(cand.delay, sample.delay);
+            }
+        }
     }
 
     #[test]

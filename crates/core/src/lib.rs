@@ -20,6 +20,13 @@
 //! | X3 | Extension: knobs vs cache decay (gated-Vdd) | [`decay::DecayStudy`] |
 //! | X4 | Extension: split I$/D$ vs unified L1 | [`splitl1::SplitL1Study`] |
 //!
+//! All four study pipelines run on the shared evaluation engine in
+//! [`mod@eval`]: a [`eval::HierarchySpec`] describes the cache levels and
+//! their knob grouping, and one memoizing [`eval::Evaluator`] enumerates
+//! candidates, merges Pareto fronts and reads constrained optima off
+//! them — each `(component, knob point)` is analysed exactly once per
+//! evaluator no matter how many schemes, deadlines or sizes share it.
+//!
 //! ```
 //! use nm_cache_core::single::SingleCacheStudy;
 //! use nm_cache_core::groups::Scheme;
@@ -36,6 +43,7 @@
 
 pub mod amat;
 pub mod decay;
+pub mod eval;
 pub mod experiments;
 pub mod fitcheck;
 pub mod groups;

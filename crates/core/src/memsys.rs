@@ -11,15 +11,15 @@
 //! resolution, so the approximation is second-order; see `DESIGN.md`).
 
 use crate::amat::{memory_energy, memory_floor, MainMemory};
-use crate::groups::{component_group, tied_group, CostKind};
+use crate::eval::{Evaluator, HierarchySpec};
+use crate::groups::{CostKind, Scheme};
 use crate::report::{cell, Series, Table};
 use crate::StudyError;
 use nm_archsim::PairStats;
 use nm_device::units::Seconds;
 use nm_device::{KnobGrid, TechnologyNode};
-use nm_geometry::{CacheCircuit, CacheConfig, ComponentId, COMPONENT_IDS};
+use nm_geometry::{CacheCircuit, CacheConfig};
 use nm_opt::tuple::optimize_with_tuple_counts;
-use nm_opt::Group;
 use nm_sweep::ParallelSweep;
 use serde::{Deserialize, Serialize};
 
@@ -69,7 +69,7 @@ pub struct MemorySystemStudy {
     l1: CacheCircuit,
     l2: CacheCircuit,
     stats: PairStats,
-    grid: KnobGrid,
+    eval: Evaluator,
     memory: MainMemory,
 }
 
@@ -91,20 +91,17 @@ impl MemorySystemStudy {
             l1: CacheCircuit::new(CacheConfig::new(l1_bytes, 64, 4)?, tech),
             l2: CacheCircuit::new(CacheConfig::new(l2_bytes, 64, 8)?, tech),
             stats,
-            grid,
+            eval: Evaluator::new(grid),
             memory,
         })
     }
 
-    /// The four knob-sharing groups of the system — L1 cells, L1
-    /// periphery, L2 cells, L2 periphery — priced for an AMAT target
-    /// `t_ref` (leakage energy integrates over it).
-    fn system_groups(&self, t_ref: Seconds) -> Vec<Group> {
+    /// The system as a two-level [`HierarchySpec`] (Scheme II in each
+    /// cache, giving the four groups L1 cells, L1 periphery, L2 cells, L2
+    /// periphery) priced for an AMAT target `t_ref` (leakage energy
+    /// integrates over it).
+    fn system_spec(&self, t_ref: Seconds) -> HierarchySpec {
         let m1 = self.stats.l1_miss_rate;
-        let periphery: Vec<ComponentId> = COMPONENT_IDS
-            .into_iter()
-            .filter(|id| id.is_peripheral())
-            .collect();
         let l1_cost = CostKind::Energy {
             t_ref: t_ref.0,
             access_rate: 1.0,
@@ -123,12 +120,9 @@ impl MemorySystemStudy {
                 self.stats.l1_writeback_rate / l2_rate
             },
         };
-        vec![
-            component_group(&self.l1, ComponentId::MemoryArray, &self.grid, 1.0, l1_cost),
-            tied_group(&self.l1, &periphery, "periphery", &self.grid, 1.0, l1_cost),
-            component_group(&self.l2, ComponentId::MemoryArray, &self.grid, m1, l2_cost),
-            tied_group(&self.l2, &periphery, "periphery", &self.grid, m1, l2_cost),
-        ]
+        HierarchySpec::new()
+            .level("L1", self.l1.clone(), Scheme::Split, 1.0, l1_cost)
+            .level("L2", self.l2.clone(), Scheme::Split, m1, l2_cost)
     }
 
     /// The knob-independent AMAT floor (`m1·m2·t_mem`).
@@ -183,14 +177,24 @@ impl MemorySystemStudy {
     /// grid, shared across all four system groups, minimising total
     /// energy.
     pub fn tuple_curves(&self, tuples: &[TupleCounts], targets: &[Seconds]) -> Vec<Series> {
-        let vth_axis: Vec<f64> = self.grid.vth_values().iter().map(|v| v.0).collect();
-        let tox_axis: Vec<f64> = self.grid.tox_values().iter().map(|t| t.0).collect();
+        let grid = self.eval.grid();
+        let vth_axis: Vec<f64> = grid.vth_values().iter().map(|v| v.0).collect();
+        let tox_axis: Vec<f64> = grid.tox_values().iter().map(|t| t.0).collect();
         let e_mem = memory_energy(
             self.stats.l1_miss_rate,
             self.stats.l2_local_miss_rate,
             self.memory.access_energy,
         );
         let floor = self.amat_floor();
+
+        // The metric surfaces behind every (tuple, target) cell are the
+        // same eight (circuit, component) passes — only the `t_ref`
+        // pricing differs. Build them once, up front, so the fan-out
+        // below re-prices cached surfaces instead of re-analysing the
+        // grid per cell (and never starts a nested sweep).
+        if let Some(&first) = targets.first() {
+            self.eval.ensure_surfaces(&self.system_spec(first));
+        }
 
         // Every (tuple, target) cell is independent: flatten the grid into
         // one bounded sweep so large target axes cannot fan out into
@@ -207,7 +211,7 @@ impl MemorySystemStudy {
                     if budget <= 0.0 {
                         return None;
                     }
-                    let groups = self.system_groups(target);
+                    let groups = self.eval.groups(&self.system_spec(target));
                     let sols = optimize_with_tuple_counts(
                         &groups,
                         &vth_axis,

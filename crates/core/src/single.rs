@@ -11,15 +11,15 @@
 //!   knob free, quantifying the paper's "Vth is the better design knob"
 //!   conclusion.
 
-use crate::groups::{cache_groups, knobs_from_choice, CostKind, Scheme};
+use crate::eval::{Evaluator, HierarchySpec};
+use crate::groups::{CostKind, Scheme};
 use crate::report::{cell, Series, Table};
 use crate::StudyError;
 use nm_device::leakage::LeakageBreakdown;
 use nm_device::units::{Angstroms, Seconds, Volts};
 use nm_device::{KnobGrid, KnobPoint, TechnologyNode};
 use nm_geometry::{CacheCircuit, CacheConfig, ComponentKnobs};
-use nm_opt::constraint::best_under_deadline;
-use nm_opt::merge::system_front;
+use nm_opt::objective::Deadline;
 use serde::{Deserialize, Serialize};
 
 /// A constrained-optimisation result for one cache.
@@ -39,22 +39,22 @@ pub struct SchemeSolution {
 #[derive(Debug, Clone)]
 pub struct SingleCacheStudy {
     circuit: CacheCircuit,
-    grid: KnobGrid,
+    eval: Evaluator,
 }
 
 impl SingleCacheStudy {
     /// Creates a study for an arbitrary configuration.
     pub fn new(config: CacheConfig, tech: &TechnologyNode, grid: KnobGrid) -> Self {
-        SingleCacheStudy {
-            circuit: CacheCircuit::new(config, tech),
-            grid,
-        }
+        Self::with_circuit(CacheCircuit::new(config, tech), grid)
     }
 
     /// Creates a study over a pre-built circuit (e.g. one with a custom
     /// subarray folding from [`nm_geometry::explore`]).
     pub fn with_circuit(circuit: CacheCircuit, grid: KnobGrid) -> Self {
-        SingleCacheStudy { circuit, grid }
+        SingleCacheStudy {
+            circuit,
+            eval: Evaluator::new(grid),
+        }
     }
 
     /// The paper's Figure 1 subject: a 16 KB, 4-way, 64 B-line cache on
@@ -77,7 +77,12 @@ impl SingleCacheStudy {
 
     /// The knob grid in use.
     pub fn grid(&self) -> &KnobGrid {
-        &self.grid
+        self.eval.grid()
+    }
+
+    /// The study's one-cache evaluation problem under a scheme.
+    fn spec(&self, scheme: Scheme) -> HierarchySpec {
+        HierarchySpec::single(self.circuit.clone(), scheme, 1.0, CostKind::LeakagePower)
     }
 
     /// Evenly spaced feasible delay constraints spanning the cache's
@@ -97,17 +102,9 @@ impl SingleCacheStudy {
     /// (the paper's Section 4 optimisation). Returns `None` when the
     /// deadline is infeasible.
     pub fn optimize(&self, scheme: Scheme, deadline: Seconds) -> Option<SchemeSolution> {
-        let groups = cache_groups(
-            &self.circuit,
-            scheme,
-            &self.grid,
-            1.0,
-            CostKind::LeakagePower,
-        );
-        let front = system_front(&groups);
-        let point = best_under_deadline(&front, deadline.0)?;
-        let knobs = knobs_from_choice(scheme, &point.choice);
-        let metrics = self.circuit.analyze(&knobs);
+        let sol = self.eval.solve(&self.spec(scheme), &Deadline(deadline.0))?;
+        let knobs = sol.knobs[0];
+        let metrics = self.eval.analyze(&self.circuit, &knobs);
         Some(SchemeSolution {
             scheme,
             knobs,
@@ -160,7 +157,7 @@ impl SingleCacheStudy {
         let mut series = Vec::new();
         for &tox in &[10.0, 14.0] {
             let mut s = Series::new(format!("Tox={tox:.0}A"));
-            for &vth in self.grid.vth_values() {
+            for &vth in self.grid().vth_values() {
                 let p = KnobPoint::new(vth, Angstroms(tox)).expect("grid values are legal");
                 s.points.push(self.uniform_point(p));
             }
@@ -170,7 +167,7 @@ impl SingleCacheStudy {
         }
         for &vth in &[0.2, 0.4] {
             let mut s = Series::new(format!("Vth={:.0}mV", vth * 1e3));
-            for &tox in self.grid.tox_values() {
+            for &tox in self.grid().tox_values() {
                 let p = KnobPoint::new(Volts(vth), tox).expect("grid values are legal");
                 s.points.push(self.uniform_point(p));
             }
@@ -182,7 +179,9 @@ impl SingleCacheStudy {
     }
 
     fn uniform_point(&self, p: KnobPoint) -> (f64, f64) {
-        let m = self.circuit.analyze(&ComponentKnobs::uniform(p));
+        let m = self
+            .eval
+            .analyze(&self.circuit, &ComponentKnobs::uniform(p));
         (m.access_time().picos(), m.leakage().total().milli())
     }
 
@@ -193,21 +192,14 @@ impl SingleCacheStudy {
     /// The paper's conclusion: "it is best to set Tox conservatively at a
     /// high value and let Vth be the knob designers can vary".
     pub fn knob_ablation(&self, deadlines: &[Seconds]) -> Table {
-        let vth_axis: Vec<f64> = self.grid.vth_values().iter().map(|v| v.0).collect();
-        let tox_axis: Vec<f64> = self.grid.tox_values().iter().map(|t| t.0).collect();
+        let vth_axis: Vec<f64> = self.grid().vth_values().iter().map(|v| v.0).collect();
+        let tox_axis: Vec<f64> = self.grid().tox_values().iter().map(|t| t.0).collect();
 
+        let spec = self.spec(Scheme::Split);
         let restricted_optimum = |vths: &[f64], toxes: &[f64], deadline: Seconds| -> Option<f64> {
-            let groups = cache_groups(
-                &self.circuit,
-                Scheme::Split,
-                &self.grid,
-                1.0,
-                CostKind::LeakagePower,
-            );
-            let restricted: Option<Vec<_>> =
-                groups.iter().map(|g| g.restricted(vths, toxes)).collect();
-            let front = system_front(&restricted?);
-            best_under_deadline(&front, deadline.0).map(|p| p.cost * 1e3)
+            self.eval
+                .solve_restricted(&spec, vths, toxes, &Deadline(deadline.0))
+                .map(|sol| sol.cost * 1e3)
         };
 
         let mut table = Table::new(

@@ -9,7 +9,8 @@
 //! their total leakage.
 
 use crate::amat::MainMemory;
-use crate::groups::{cache_groups, knobs_from_choice, CostKind, Scheme};
+use crate::eval::{Evaluator, HierarchySpec};
+use crate::groups::{CostKind, Scheme};
 use crate::report::{cell, Table};
 use crate::StudyError;
 use nm_archsim::cache::CacheParams;
@@ -18,9 +19,7 @@ use nm_archsim::workload::SuiteKind;
 use nm_device::units::{Seconds, Watts};
 use nm_device::{KnobGrid, TechnologyNode};
 use nm_geometry::{CacheCircuit, CacheConfig, ComponentKnobs};
-use nm_opt::constraint::best_under_deadline;
-use nm_opt::merge::system_front;
-use nm_opt::Group;
+use nm_opt::objective::Deadline;
 use serde::{Deserialize, Serialize};
 
 /// Data references per instruction fetch (paper-era scalar core).
@@ -43,7 +42,7 @@ pub struct OrganisationRow {
 #[derive(Debug, Clone)]
 pub struct SplitL1Study {
     tech: TechnologyNode,
-    grid: KnobGrid,
+    eval: Evaluator,
     icache_bytes: u64,
     dcache_bytes: u64,
     l2_bytes: u64,
@@ -97,7 +96,7 @@ impl SplitL1Study {
 
         Ok(SplitL1Study {
             tech,
-            grid,
+            eval: Evaluator::new(grid),
             icache_bytes,
             dcache_bytes,
             l2_bytes,
@@ -140,41 +139,38 @@ impl SplitL1Study {
         let l2_weight = fi * s.icache_miss_rate() + fd * s.dcache_miss_rate();
         let floor = self.memory.access_time.0 * l2_weight * s.l2_local_miss_rate();
 
-        let icache = self.circuit(self.icache_bytes, 2);
-        let dcache = self.circuit(self.dcache_bytes, 4);
-        let l2 = self.circuit(self.l2_bytes, 8);
-        let mut groups: Vec<Group> = cache_groups(
-            &icache,
-            Scheme::Split,
-            &self.grid,
-            fi,
-            CostKind::LeakagePower,
-        );
-        groups.extend(cache_groups(
-            &dcache,
-            Scheme::Split,
-            &self.grid,
-            fd,
-            CostKind::LeakagePower,
-        ));
-        groups.extend(cache_groups(
-            &l2,
-            Scheme::Split,
-            &self.grid,
-            l2_weight,
-            CostKind::LeakagePower,
-        ));
-        let front = system_front(&groups);
-        let point = best_under_deadline(&front, deadline.0 - floor)?;
+        let spec = HierarchySpec::new()
+            .level(
+                "I$",
+                self.circuit(self.icache_bytes, 2),
+                Scheme::Split,
+                fi,
+                CostKind::LeakagePower,
+            )
+            .level(
+                "D$",
+                self.circuit(self.dcache_bytes, 4),
+                Scheme::Split,
+                fd,
+                CostKind::LeakagePower,
+            )
+            .level(
+                "L2",
+                self.circuit(self.l2_bytes, 8),
+                Scheme::Split,
+                l2_weight,
+                CostKind::LeakagePower,
+            );
+        let sol = self.eval.solve(&spec, &Deadline(deadline.0 - floor))?;
         Some(OrganisationRow {
             name: format!(
                 "split {}K I$ + {}K D$",
                 self.icache_bytes / 1024,
                 self.dcache_bytes / 1024
             ),
-            mean_access: Seconds(point.delay + floor),
-            leakage: Watts(point.cost),
-            l1_knobs: knobs_from_choice(Scheme::Split, &point.choice[..2]),
+            mean_access: Seconds(sol.delay + floor),
+            leakage: Watts(sol.cost),
+            l1_knobs: sol.knobs[0],
         })
     }
 
@@ -182,27 +178,30 @@ impl SplitL1Study {
     pub fn optimize_unified(&self, deadline: Seconds) -> Option<OrganisationRow> {
         let l2_weight = self.unified_m1;
         let floor = self.memory.access_time.0 * l2_weight * self.unified_m2;
-        let l1 = self.circuit(self.icache_bytes + self.dcache_bytes, 4);
-        let l2 = self.circuit(self.l2_bytes, 8);
-        let mut groups: Vec<Group> =
-            cache_groups(&l1, Scheme::Split, &self.grid, 1.0, CostKind::LeakagePower);
-        groups.extend(cache_groups(
-            &l2,
-            Scheme::Split,
-            &self.grid,
-            l2_weight,
-            CostKind::LeakagePower,
-        ));
-        let front = system_front(&groups);
-        let point = best_under_deadline(&front, deadline.0 - floor)?;
+        let spec = HierarchySpec::new()
+            .level(
+                "L1",
+                self.circuit(self.icache_bytes + self.dcache_bytes, 4),
+                Scheme::Split,
+                1.0,
+                CostKind::LeakagePower,
+            )
+            .level(
+                "L2",
+                self.circuit(self.l2_bytes, 8),
+                Scheme::Split,
+                l2_weight,
+                CostKind::LeakagePower,
+            );
+        let sol = self.eval.solve(&spec, &Deadline(deadline.0 - floor))?;
         Some(OrganisationRow {
             name: format!(
                 "unified {}K L1",
                 (self.icache_bytes + self.dcache_bytes) / 1024
             ),
-            mean_access: Seconds(point.delay + floor),
-            leakage: Watts(point.cost),
-            l1_knobs: knobs_from_choice(Scheme::Split, &point.choice[..2]),
+            mean_access: Seconds(sol.delay + floor),
+            leakage: Watts(sol.cost),
+            l1_knobs: sol.knobs[0],
         })
     }
 

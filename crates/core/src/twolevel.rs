@@ -15,7 +15,8 @@
 //!   optimise both caches across L1 sizes; small L1s win.
 
 use crate::amat::{memory_floor, MainMemory};
-use crate::groups::{cache_groups, knobs_from_choice, CostKind, Scheme};
+use crate::eval::{Evaluator, HierarchySpec};
+use crate::groups::{CostKind, Scheme};
 use crate::report::{cell, Table};
 use crate::StudyError;
 use nm_archsim::workload::SuiteKind;
@@ -23,9 +24,7 @@ use nm_archsim::{MissRateTable, PairStats};
 use nm_device::units::{Seconds, Watts};
 use nm_device::{KnobGrid, TechnologyNode};
 use nm_geometry::{CacheCircuit, CacheConfig, ComponentKnobs};
-use nm_opt::constraint::best_under_deadline;
-use nm_opt::merge::system_front;
-use nm_opt::Group;
+use nm_opt::objective::Deadline;
 use serde::{Deserialize, Serialize};
 
 /// Default block size for both levels (bytes).
@@ -75,14 +74,9 @@ impl SweepOutcome {
     pub fn winner(&self) -> Option<&SweepRow> {
         self.rows
             .iter()
-            .filter(|r| r.total_leakage.is_some())
-            .min_by(|a, b| {
-                a.total_leakage
-                    .expect("filtered to feasible")
-                    .0
-                    .partial_cmp(&b.total_leakage.expect("filtered to feasible").0)
-                    .expect("finite leakage")
-            })
+            .filter_map(|r| r.total_leakage.map(|w| (r, w.0)))
+            .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite leakage"))
+            .map(|(r, _)| r)
     }
 
     /// Renders the sweep as a text/CSV table.
@@ -120,7 +114,7 @@ impl SweepOutcome {
 #[derive(Debug, Clone)]
 pub struct TwoLevelStudy {
     tech: TechnologyNode,
-    grid: KnobGrid,
+    eval: Evaluator,
     missrates: MissRateTable,
     memory: MainMemory,
 }
@@ -135,7 +129,7 @@ impl TwoLevelStudy {
     ) -> Self {
         TwoLevelStudy {
             tech,
-            grid,
+            eval: Evaluator::new(grid),
             missrates,
             memory,
         }
@@ -185,7 +179,7 @@ impl TwoLevelStudy {
 
     /// The knob grid in use.
     pub fn grid(&self) -> &KnobGrid {
-        &self.grid
+        self.eval.grid()
     }
 
     /// The miss-rate table in use.
@@ -303,21 +297,18 @@ impl TwoLevelStudy {
                 knobs: None,
             };
             if budget > 0.0 {
-                let groups = cache_groups(
-                    &l2,
+                let spec = HierarchySpec::single(
+                    l2.clone(),
                     scheme,
-                    &self.grid,
                     stats.l1_miss_rate,
                     CostKind::LeakagePower,
                 );
-                let front = system_front(&groups);
-                if let Some(point) = best_under_deadline(&front, budget) {
-                    let knobs = knobs_from_choice(scheme, &point.choice);
-                    let l2_leak = Watts(point.cost);
-                    row.amat = Some(Seconds(base.0 + point.delay));
+                if let Some(sol) = self.eval.solve(&spec, &Deadline(budget)) {
+                    let l2_leak = Watts(sol.cost);
+                    row.amat = Some(Seconds(base.0 + sol.delay));
                     row.opt_leakage = Some(l2_leak);
                     row.total_leakage = Some(l1_leak + l2_leak);
-                    row.knobs = Some(knobs);
+                    row.knobs = Some(sol.knobs[0]);
                 }
             }
             rows.push(row);
@@ -366,22 +357,21 @@ impl TwoLevelStudy {
                 knobs: None,
             };
             if budget > 0.0 {
-                let mut groups: Vec<Group> =
-                    cache_groups(&l1, Scheme::Split, &self.grid, 1.0, CostKind::LeakagePower);
-                groups.extend(cache_groups(
-                    &l2,
-                    Scheme::Split,
-                    &self.grid,
-                    stats.l1_miss_rate,
-                    CostKind::LeakagePower,
-                ));
-                let front = system_front(&groups);
-                if let Some(point) = best_under_deadline(&front, budget) {
-                    let l1_knobs = knobs_from_choice(Scheme::Split, &point.choice[..2]);
-                    let l1_leak = l1.analyze(&l1_knobs).leakage().total();
-                    row.amat = Some(Seconds(base.0 + point.delay));
+                let spec = HierarchySpec::new()
+                    .level("L1", l1.clone(), Scheme::Split, 1.0, CostKind::LeakagePower)
+                    .level(
+                        "L2",
+                        l2.clone(),
+                        Scheme::Split,
+                        stats.l1_miss_rate,
+                        CostKind::LeakagePower,
+                    );
+                if let Some(sol) = self.eval.solve(&spec, &Deadline(budget)) {
+                    let l1_knobs = sol.knobs[0];
+                    let l1_leak = self.eval.analyze(&l1, &l1_knobs).leakage().total();
+                    row.amat = Some(Seconds(base.0 + sol.delay));
                     row.opt_leakage = Some(l1_leak);
-                    row.total_leakage = Some(Watts(point.cost));
+                    row.total_leakage = Some(Watts(sol.cost));
                     row.knobs = Some(l1_knobs);
                 }
             }
@@ -523,8 +513,7 @@ mod tests {
         let sweep = s
             .l2_size_sweep(16 * 1024, &L2_SIZES, Scheme::Split, target)
             .unwrap();
-        for row in sweep.rows.iter().filter(|r| r.knobs.is_some()) {
-            let knobs = row.knobs.expect("filtered");
+        for (row, knobs) in sweep.rows.iter().filter_map(|r| r.knobs.map(|k| (r, k))) {
             let cells = knobs[nm_geometry::ComponentId::MemoryArray];
             let periph = knobs[nm_geometry::ComponentId::Decoder];
             assert!(
@@ -542,8 +531,8 @@ mod tests {
         let sweep = s
             .l2_size_sweep(16 * 1024, &L2_SIZES, Scheme::Uniform, target)
             .unwrap();
-        for r in sweep.rows.iter().filter(|r| r.amat.is_some()) {
-            assert!(r.amat.expect("filtered").0 <= target.0 + 1e-15);
+        for amat in sweep.rows.iter().filter_map(|r| r.amat) {
+            assert!(amat.0 <= target.0 + 1e-15);
         }
     }
 

@@ -62,6 +62,13 @@ pub struct CacheMetrics {
 }
 
 impl CacheMetrics {
+    /// Assembles whole-cache metrics from per-component records (indexed
+    /// by [`ComponentId::index`]) — the composition path used by callers
+    /// that already hold memoized component metrics.
+    pub fn from_components(per_component: [ComponentMetrics; 4]) -> Self {
+        CacheMetrics { per_component }
+    }
+
     /// Metrics of one component.
     pub fn component(&self, id: ComponentId) -> &ComponentMetrics {
         &self.per_component[id.index()]
@@ -220,6 +227,24 @@ impl CacheCircuit {
         CacheMetrics { per_component }
     }
 
+    /// Analyses one component across a whole set of knob points in one
+    /// call, returning a dense [`ComponentSurface`] aligned with the
+    /// input order.
+    ///
+    /// This is the cache-friendly bulk entry point the evaluation engine
+    /// memoizes: one contiguous pass per `(component, point set)` instead
+    /// of scattered [`analyze_component`](Self::analyze_component) calls,
+    /// and the resulting surface supports O(1) point lookup.
+    pub fn component_surface(&self, id: ComponentId, points: &[KnobPoint]) -> ComponentSurface {
+        ComponentSurface::new(
+            points.to_vec(),
+            points
+                .iter()
+                .map(|&p| self.analyze_component(id, p))
+                .collect(),
+        )
+    }
+
     /// The fastest achievable access time (every component at the
     /// fastest legal corner) — the tightest meaningful delay constraint.
     pub fn fastest_access_time(&self) -> Seconds {
@@ -233,6 +258,69 @@ impl CacheCircuit {
     pub fn slowest_access_time(&self) -> Seconds {
         self.analyze(&ComponentKnobs::uniform(KnobPoint::lowest_leakage()))
             .access_time()
+    }
+}
+
+/// One component's metrics evaluated over a fixed set of knob points —
+/// the dense, memoizable form of repeated
+/// [`CacheCircuit::analyze_component`] calls.
+///
+/// Metrics are stored contiguously in input-point order; a bit-exact
+/// point index supports O(1) [`lookup`](Self::lookup) by knob pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentSurface {
+    points: Vec<KnobPoint>,
+    metrics: Vec<ComponentMetrics>,
+    index: std::collections::HashMap<(u64, u64), usize>,
+}
+
+fn point_key(p: KnobPoint) -> (u64, u64) {
+    (p.vth().0.to_bits(), p.tox().0.to_bits())
+}
+
+impl ComponentSurface {
+    fn new(points: Vec<KnobPoint>, metrics: Vec<ComponentMetrics>) -> Self {
+        let index = points
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (point_key(p), i))
+            .collect();
+        ComponentSurface {
+            points,
+            metrics,
+            index,
+        }
+    }
+
+    /// The knob points the surface was evaluated at, in input order.
+    pub fn points(&self) -> &[KnobPoint] {
+        &self.points
+    }
+
+    /// The metrics aligned with [`points`](Self::points).
+    pub fn metrics(&self) -> &[ComponentMetrics] {
+        &self.metrics
+    }
+
+    /// Number of evaluated points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when the surface holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The metrics at a knob pair, matched bit-exactly, or `None` when
+    /// the pair is not on the surface.
+    pub fn lookup(&self, p: KnobPoint) -> Option<&ComponentMetrics> {
+        self.index.get(&point_key(p)).map(|&i| &self.metrics[i])
+    }
+
+    /// Iterates `(point, metrics)` pairs in input order.
+    pub fn iter(&self) -> impl Iterator<Item = (KnobPoint, &ComponentMetrics)> + '_ {
+        self.points.iter().copied().zip(self.metrics.iter())
     }
 }
 
@@ -341,6 +429,34 @@ mod tests {
             let single = c.analyze_component(id, knobs.get(id));
             assert_eq!(&single, full.component(id));
         }
+    }
+
+    #[test]
+    fn component_surface_matches_pointwise_analysis() {
+        let c = circuit(16 * 1024);
+        let points = [k(0.2, 10.0), k(0.35, 12.0), k(0.5, 14.0)];
+        let surface = c.component_surface(ComponentId::Decoder, &points);
+        assert_eq!(surface.len(), 3);
+        assert!(!surface.is_empty());
+        for (i, (p, m)) in surface.iter().enumerate() {
+            assert_eq!(p, points[i]);
+            assert_eq!(m, &c.analyze_component(ComponentId::Decoder, p));
+            assert_eq!(surface.lookup(p), Some(m));
+        }
+        assert_eq!(surface.points(), &points);
+        assert_eq!(surface.metrics().len(), 3);
+        assert!(surface.lookup(k(0.3, 11.0)).is_none());
+    }
+
+    #[test]
+    fn from_components_roundtrips_analysis() {
+        let c = circuit(16 * 1024);
+        let full = c.analyze(&ComponentKnobs::default());
+        let mut per = [ComponentMetrics::ZERO; 4];
+        for id in COMPONENT_IDS {
+            per[id.index()] = *full.component(id);
+        }
+        assert_eq!(CacheMetrics::from_components(per), full);
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub mod sram;
 mod error;
 
 pub use assignment::{ComponentId, ComponentKnobs, COMPONENT_IDS};
-pub use cache::{CacheCircuit, CacheMetrics, ComponentMetrics};
+pub use cache::{CacheCircuit, CacheMetrics, ComponentMetrics, ComponentSurface};
 pub use config::{CacheConfig, Organization};
 pub use error::GeometryError;
 pub use sram::SramCell;

@@ -6,6 +6,7 @@
 //! candidate indices, accepting cost increases with Boltzmann probability
 //! and rejecting deadline violations via a quadratic penalty.
 
+use crate::objective::{Constraint, Deadline};
 use crate::{Candidate, Group};
 use nm_device::KnobPoint;
 use nm_sweep::ParallelSweep;
@@ -65,6 +66,18 @@ fn evaluate(groups: &[Group], idx: &[usize]) -> (f64, f64) {
 /// Minimises total cost subject to `total delay ≤ deadline` by simulated
 /// annealing. Deterministic for a given seed.
 pub fn anneal(groups: &[Group], deadline: f64, config: AnnealConfig, seed: u64) -> AnnealSolution {
+    anneal_under(groups, &Deadline(deadline), config, seed)
+}
+
+/// Minimises total cost subject to an arbitrary [`Constraint`] by
+/// simulated annealing, penalising violations quadratically through
+/// [`Constraint::violation`]. Deterministic for a given seed.
+pub fn anneal_under<C: Constraint>(
+    groups: &[Group],
+    constraint: &C,
+    config: AnnealConfig,
+    seed: u64,
+) -> AnnealSolution {
     assert!(!groups.is_empty(), "anneal needs at least one group");
     let mut rng = StdRng::seed_from_u64(seed);
 
@@ -87,7 +100,7 @@ pub fn anneal(groups: &[Group], deadline: f64, config: AnnealConfig, seed: u64) 
 
     let objective = |idx: &[usize]| {
         let (delay, cost) = evaluate(groups, idx);
-        let violation = ((delay - deadline) / deadline).max(0.0);
+        let violation = constraint.violation(delay, cost);
         cost * (1.0 + config.penalty * violation * violation)
     };
 
@@ -110,8 +123,8 @@ pub fn anneal(groups: &[Group], deadline: f64, config: AnnealConfig, seed: u64) 
         if accept {
             current = proposed;
             if proposed < best {
-                let (delay, _) = evaluate(groups, &idx);
-                if delay <= deadline {
+                let (delay, cost) = evaluate(groups, &idx);
+                if constraint.satisfied(delay, cost) {
                     best = proposed;
                     best_idx = idx.clone();
                 }
@@ -131,7 +144,7 @@ pub fn anneal(groups: &[Group], deadline: f64, config: AnnealConfig, seed: u64) 
             .collect(),
         delay,
         cost,
-        feasible: delay <= deadline,
+        feasible: constraint.satisfied(delay, cost),
     }
 }
 
@@ -258,5 +271,23 @@ mod tests {
         let groups = vec![grid_group("a", 1.0)];
         let sol = anneal(&groups, 0.01, AnnealConfig::default(), 1);
         assert!(!sol.feasible);
+    }
+
+    #[test]
+    fn anneal_under_deadline_matches_legacy_entry_point() {
+        let groups = vec![grid_group("a", 1.0), grid_group("b", 2.0)];
+        let legacy = anneal(&groups, 8.0, AnnealConfig::default(), 7);
+        let traited = anneal_under(&groups, &Deadline(8.0), AnnealConfig::default(), 7);
+        assert_eq!(legacy, traited);
+    }
+
+    #[test]
+    fn anneal_under_cost_budget_meets_the_budget() {
+        use crate::objective::CostBudget;
+        let groups = vec![grid_group("a", 1.0), grid_group("b", 1.7)];
+        let budget = 40.0;
+        let sol = anneal_under(&groups, &CostBudget(budget), AnnealConfig::default(), 3);
+        assert!(sol.feasible, "budget {budget} should be achievable");
+        assert!(sol.cost <= budget + 1e-12, "cost {} over budget", sol.cost);
     }
 }

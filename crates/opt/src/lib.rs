@@ -15,6 +15,9 @@
 //!   front carries the knob choice that achieves it;
 //! * [`constraint::best_under_deadline`] reads the optimum off the front
 //!   for any delay constraint;
+//! * [`mod@objective`] names the [`Objective`](objective::Objective) /
+//!   [`Constraint`](objective::Constraint) trait pair every solver
+//!   consumes — studies describe *what* they optimise, never *how*;
 //! * [`mod@tuple`] enumerates the (`nTox`, `nVth`) value-count restrictions of
 //!   the paper's Figure 2;
 //! * [`anneal`] is an independent stochastic cross-check of the exact
@@ -48,6 +51,7 @@ pub mod anneal;
 pub mod budget;
 pub mod constraint;
 pub mod merge;
+pub mod objective;
 pub mod pareto;
 pub mod tuple;
 

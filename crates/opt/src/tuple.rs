@@ -7,8 +7,8 @@
 //! oxide thicknesses from a grid, solves the assignment problem under each
 //! restriction, and keeps the best frontier.
 
-use crate::constraint::best_under_deadline;
 use crate::merge::{system_front, FrontPoint};
+use crate::objective::{Constraint, Deadline};
 use crate::Group;
 use serde::{Deserialize, Serialize};
 
@@ -79,9 +79,25 @@ pub fn optimize_with_tuple_counts(
     n_tox: usize,
     deadlines: &[f64],
 ) -> Vec<Option<TupleSolution>> {
+    let constraints: Vec<Deadline> = deadlines.iter().map(|&d| Deadline(d)).collect();
+    optimize_with_tuples(groups, vth_axis, tox_axis, n_vth, n_tox, &constraints)
+}
+
+/// The trait-based form of [`optimize_with_tuple_counts`]: minimises
+/// system cost at each [`Constraint`] under the same value-count
+/// restriction. Returns, per constraint, the best solution over all
+/// value-set choices (`None` where infeasible).
+pub fn optimize_with_tuples<C: Constraint>(
+    groups: &[Group],
+    vth_axis: &[f64],
+    tox_axis: &[f64],
+    n_vth: usize,
+    n_tox: usize,
+    constraints: &[C],
+) -> Vec<Option<TupleSolution>> {
     let vth_sets = combinations(vth_axis, n_vth);
     let tox_sets = combinations(tox_axis, n_tox);
-    let mut best: Vec<Option<TupleSolution>> = vec![None; deadlines.len()];
+    let mut best: Vec<Option<TupleSolution>> = vec![None; constraints.len()];
 
     for vths in &vth_sets {
         for toxes in &tox_sets {
@@ -92,8 +108,8 @@ pub fn optimize_with_tuple_counts(
                 continue;
             };
             let front = system_front(&restricted);
-            for (slot, &deadline) in best.iter_mut().zip(deadlines) {
-                if let Some(point) = best_under_deadline(&front, deadline) {
+            for (slot, constraint) in best.iter_mut().zip(constraints) {
+                if let Some(point) = constraint.select(&front) {
                     let better = match slot {
                         Some(existing) => point.cost < existing.point.cost,
                         None => true,
