@@ -33,6 +33,24 @@ pub enum TraceError {
         /// The offending text.
         text: String,
     },
+    /// A corrupt binary trace: bad magic, unsupported version, bad kind
+    /// byte, or a truncated record.
+    Corrupt {
+        /// Byte offset of the corruption within the input.
+        offset: u64,
+        /// What was wrong at that offset.
+        detail: &'static str,
+    },
+    /// A binary trace declared more records than the reader's cap —
+    /// either a corrupt length or an input too large to replay.
+    TooLarge {
+        /// Records read before giving up.
+        records: u64,
+        /// The configured record cap.
+        limit: u64,
+    },
+    /// A trace with no references where at least one is required.
+    Empty,
 }
 
 impl fmt::Display for TraceError {
@@ -42,6 +60,14 @@ impl fmt::Display for TraceError {
             TraceError::Parse { line, text } => {
                 write!(f, "trace line {line} is malformed: {text:?}")
             }
+            TraceError::Corrupt { offset, detail } => {
+                write!(f, "binary trace corrupt at byte offset {offset}: {detail}")
+            }
+            TraceError::TooLarge { records, limit } => write!(
+                f,
+                "binary trace exceeds the record cap ({records} read, limit {limit})"
+            ),
+            TraceError::Empty => write!(f, "trace must contain at least one access"),
         }
     }
 }
@@ -50,7 +76,7 @@ impl Error for TraceError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             TraceError::Io(e) => Some(e),
-            TraceError::Parse { .. } => None,
+            _ => None,
         }
     }
 }
@@ -153,32 +179,59 @@ pub fn write_trace_binary<W: Write, I: IntoIterator<Item = Access>>(
     Ok(())
 }
 
-/// Reads a binary trace written by [`write_trace_binary`].
+/// Size of the binary header (magic + version byte).
+const BINARY_HEADER_BYTES: u64 = 5;
+
+/// Size of one binary record (kind byte + little-endian address).
+const BINARY_RECORD_BYTES: u64 = 9;
+
+/// Default record cap for [`read_trace_binary`]: ~2.4 GB of records —
+/// far beyond any real workload, close enough to stop a corrupt or
+/// hostile length from exhausting memory.
+pub const MAX_BINARY_RECORDS: u64 = 1 << 28;
+
+/// Reads a binary trace written by [`write_trace_binary`], capped at
+/// [`MAX_BINARY_RECORDS`] records.
 ///
 /// # Errors
 ///
-/// [`TraceError::Io`] on read failure; [`TraceError::Parse`] on a bad
-/// magic, unsupported version, bad kind byte, or truncated record (the
-/// reported "line" is the 1-based record number, 0 for the header).
-pub fn read_trace_binary<R: Read>(mut reader: R) -> Result<Vec<Access>, TraceError> {
-    let bad = |record: usize, what: &str| TraceError::Parse {
-        line: record,
-        text: what.to_owned(),
-    };
-    let mut header = [0u8; 5];
+/// [`TraceError::Io`] on read failure; [`TraceError::Corrupt`] with the
+/// byte offset of the damage on a bad magic, unsupported version, bad
+/// kind byte, or truncated record; [`TraceError::TooLarge`] past the
+/// record cap.
+pub fn read_trace_binary<R: Read>(reader: R) -> Result<Vec<Access>, TraceError> {
+    read_trace_binary_limited(reader, MAX_BINARY_RECORDS)
+}
+
+/// [`read_trace_binary`] with an explicit record cap.
+///
+/// Record `n` (1-based) starts at byte offset `5 + 9·(n − 1)`; every
+/// corruption error names the exact offset so a damaged capture can be
+/// inspected with a hex dump.
+///
+/// # Errors
+///
+/// As [`read_trace_binary`], with `limit` as the cap.
+pub fn read_trace_binary_limited<R: Read>(
+    mut reader: R,
+    limit: u64,
+) -> Result<Vec<Access>, TraceError> {
+    let corrupt = |offset: u64, detail: &'static str| TraceError::Corrupt { offset, detail };
+    let mut header = [0u8; BINARY_HEADER_BYTES as usize];
     reader
         .read_exact(&mut header)
-        .map_err(|_| bad(0, "missing or truncated header"))?;
+        .map_err(|_| corrupt(0, "missing or truncated header"))?;
     if header[..4] != BINARY_MAGIC {
-        return Err(bad(0, "bad magic (not an nmcache binary trace)"));
+        return Err(corrupt(0, "bad magic (not an nmcache binary trace)"));
     }
     if header[4] != BINARY_VERSION {
-        return Err(bad(0, "unsupported binary trace version"));
+        return Err(corrupt(4, "unsupported binary trace version"));
     }
     let mut out = Vec::new();
-    let mut record = [0u8; 9];
-    let mut n = 0usize;
+    let mut record = [0u8; BINARY_RECORD_BYTES as usize];
+    let mut n = 0u64;
     loop {
+        let record_offset = BINARY_HEADER_BYTES + BINARY_RECORD_BYTES * n;
         // Peek one byte to distinguish clean EOF from truncation.
         let mut first = [0u8; 1];
         match reader.read(&mut first) {
@@ -187,14 +240,20 @@ pub fn read_trace_binary<R: Read>(mut reader: R) -> Result<Vec<Access>, TraceErr
             Err(e) => return Err(TraceError::Io(e)),
         }
         n += 1;
+        if n > limit {
+            return Err(TraceError::TooLarge {
+                records: n - 1,
+                limit,
+            });
+        }
         record[0] = first[0];
         reader
             .read_exact(&mut record[1..])
-            .map_err(|_| bad(n, "truncated record"))?;
+            .map_err(|_| corrupt(record_offset, "truncated record"))?;
         let kind = match record[0] {
             0 => AccessKind::Read,
             1 => AccessKind::Write,
-            _ => return Err(bad(n, "bad kind byte")),
+            _ => return Err(corrupt(record_offset, "bad kind byte")),
         };
         let addr = u64::from_le_bytes(record[1..].try_into().expect("8 bytes"));
         out.push(Access { addr, kind });
@@ -214,16 +273,25 @@ impl TraceWorkload {
     /// # Panics
     ///
     /// Panics on an empty trace — an endless generator needs at least one
-    /// reference.
+    /// reference. Use [`try_new`](Self::try_new) where an empty trace is
+    /// an input error rather than a bug.
     pub fn new(accesses: Vec<Access>) -> Self {
-        assert!(
-            !accesses.is_empty(),
-            "trace must contain at least one access"
-        );
-        TraceWorkload {
+        Self::try_new(accesses).unwrap_or_else(|_| panic!("trace must contain at least one access"))
+    }
+
+    /// Wraps a recorded trace, rejecting an empty one with a typed error.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Empty`] when `accesses` holds no references.
+    pub fn try_new(accesses: Vec<Access>) -> Result<Self, TraceError> {
+        if accesses.is_empty() {
+            return Err(TraceError::Empty);
+        }
+        Ok(TraceWorkload {
             accesses,
             position: 0,
-        }
+        })
     }
 
     /// Number of recorded references.
@@ -326,23 +394,93 @@ mod tests {
     }
 
     #[test]
-    fn binary_rejects_bad_headers_and_records() {
-        assert!(read_trace_binary(&b"XXXX\x01"[..]).is_err()); // bad magic
-        assert!(read_trace_binary(&b"NMTR\x09"[..]).is_err()); // bad version
-        assert!(read_trace_binary(&b"NMT"[..]).is_err()); // truncated header
-
-        let mut buf = Vec::new();
-        write_trace_binary(&mut buf, vec![Access::read(7)]).unwrap();
-        buf.truncate(buf.len() - 3); // truncate mid-record
-        match read_trace_binary(buf.as_slice()) {
-            Err(TraceError::Parse { line, .. }) => assert_eq!(line, 1),
-            other => panic!("expected parse error, got {other:?}"),
+    fn binary_rejects_bad_headers_with_offsets() {
+        match read_trace_binary(&b"XXXX\x01"[..]) {
+            Err(TraceError::Corrupt { offset: 0, detail }) => {
+                assert!(detail.contains("magic"), "{detail}");
+            }
+            other => panic!("expected corrupt magic, got {other:?}"),
         }
+        match read_trace_binary(&b"NMTR\x09"[..]) {
+            Err(TraceError::Corrupt { offset: 4, detail }) => {
+                assert!(detail.contains("version"), "{detail}");
+            }
+            other => panic!("expected corrupt version, got {other:?}"),
+        }
+        match read_trace_binary(&b"NMT"[..]) {
+            Err(TraceError::Corrupt { offset: 0, detail }) => {
+                assert!(detail.contains("header"), "{detail}");
+            }
+            other => panic!("expected truncated header, got {other:?}"),
+        }
+    }
 
+    #[test]
+    fn binary_truncation_reports_the_record_offset() {
+        let mut buf = Vec::new();
+        write_trace_binary(&mut buf, vec![Access::read(7), Access::write(8)]).unwrap();
+        buf.truncate(buf.len() - 3); // truncate record 2 mid-address
+        match read_trace_binary(buf.as_slice()) {
+            // Record 2 starts at 5 + 9·1 = 14.
+            Err(TraceError::Corrupt { offset: 14, detail }) => {
+                assert!(detail.contains("truncated"), "{detail}");
+            }
+            other => panic!("expected truncation at offset 14, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_bad_kind_reports_the_record_offset() {
         let mut bad_kind = Vec::new();
-        write_trace_binary(&mut bad_kind, vec![Access::read(7)]).unwrap();
-        bad_kind[5] = 9; // corrupt the kind byte
-        assert!(read_trace_binary(bad_kind.as_slice()).is_err());
+        write_trace_binary(&mut bad_kind, vec![Access::read(7), Access::read(9)]).unwrap();
+        bad_kind[14] = 9; // corrupt record 2's kind byte
+        match read_trace_binary(bad_kind.as_slice()) {
+            Err(TraceError::Corrupt { offset: 14, detail }) => {
+                assert!(detail.contains("kind"), "{detail}");
+            }
+            other => panic!("expected bad kind at offset 14, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_record_cap_rejects_oversized_inputs() {
+        let trace: Vec<Access> = (0..10).map(Access::read).collect();
+        let mut buf = Vec::new();
+        write_trace_binary(&mut buf, trace.clone()).unwrap();
+        // Under the cap: fine.
+        assert_eq!(
+            read_trace_binary_limited(buf.as_slice(), 10).unwrap(),
+            trace
+        );
+        // One over: typed error, not unbounded allocation.
+        match read_trace_binary_limited(buf.as_slice(), 9) {
+            Err(TraceError::TooLarge {
+                records: 9,
+                limit: 9,
+            }) => {}
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corruption_errors_display_the_offset() {
+        let e = TraceError::Corrupt {
+            offset: 14,
+            detail: "truncated record",
+        };
+        let text = e.to_string();
+        assert!(text.contains("offset 14"), "{text}");
+        assert!(TraceError::Empty.to_string().contains("at least one"));
+    }
+
+    #[test]
+    fn try_new_rejects_empty_traces_with_a_typed_error() {
+        assert!(matches!(
+            TraceWorkload::try_new(vec![]),
+            Err(TraceError::Empty)
+        ));
+        let w = TraceWorkload::try_new(vec![Access::read(1)]).unwrap();
+        assert_eq!(w.len(), 1);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use std::hint::black_box;
 
 fn generate() -> Vec<nm_cache_core::report::Series> {
     let study = SingleCacheStudy::paper_16kb().expect("paper configuration is valid");
-    study.fixed_knob_curves()
+    study.fixed_knob_curves().expect("legal fixed knobs")
 }
 
 fn bench(c: &mut Criterion) {

@@ -22,7 +22,7 @@ use std::hint::black_box;
 fn spans_and_ablation(tech: &TechnologyNode) -> (f64, f64, Option<(f64, f64)>) {
     let config = CacheConfig::new(16 * 1024, 64, 4).expect("valid");
     let study = SingleCacheStudy::new(config, tech, KnobGrid::paper());
-    let curves = study.fixed_knob_curves();
+    let curves = study.fixed_knob_curves().expect("legal fixed knobs");
     let span = |label: &str| {
         let c = curves
             .iter()

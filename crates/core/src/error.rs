@@ -1,5 +1,6 @@
+use nm_archsim::SimError;
 use nm_device::DeviceError;
-use nm_geometry::GeometryError;
+use nm_geometry::{ComponentId, GeometryError};
 use std::error::Error;
 use std::fmt;
 
@@ -11,6 +12,8 @@ pub enum StudyError {
     Device(DeviceError),
     /// A cache-geometry error (impossible organisation).
     Geometry(GeometryError),
+    /// A cache-simulator error (impossible cache parameters).
+    Simulator(SimError),
     /// A study referenced an (L1, L2) size pair missing from the miss-rate
     /// table.
     MissingMissRates {
@@ -19,6 +22,31 @@ pub enum StudyError {
         /// L2 size in bytes.
         l2_bytes: u64,
     },
+    /// A computed metric surface contained a non-finite or negative value
+    /// and was rejected before it could enter the evaluator's memo cache.
+    InvalidSurface {
+        /// Display form of the offending cache circuit.
+        circuit: String,
+        /// Component whose surface failed validation.
+        component: ComponentId,
+        /// Threshold voltage of the offending knob point (volts).
+        vth: f64,
+        /// Oxide thickness of the offending knob point (angstroms).
+        tox: f64,
+        /// Name of the metric that failed validation.
+        metric: &'static str,
+        /// The offending value (NaN, infinite, or negative).
+        value: f64,
+    },
+    /// A sweep work item panicked and was contained by the executor.
+    WorkerPanic {
+        /// Label of the sweep whose item failed.
+        label: String,
+        /// Submission-order index of the failed item.
+        index: usize,
+        /// Captured panic message of the final attempt.
+        message: String,
+    },
 }
 
 impl fmt::Display for StudyError {
@@ -26,9 +54,31 @@ impl fmt::Display for StudyError {
         match self {
             StudyError::Device(e) => write!(f, "device model: {e}"),
             StudyError::Geometry(e) => write!(f, "cache geometry: {e}"),
+            StudyError::Simulator(e) => write!(f, "cache simulator: {e}"),
             StudyError::MissingMissRates { l1_bytes, l2_bytes } => write!(
                 f,
                 "miss-rate table has no entry for L1 {l1_bytes} B / L2 {l2_bytes} B"
+            ),
+            StudyError::InvalidSurface {
+                circuit,
+                component,
+                vth,
+                tox,
+                metric,
+                value,
+            } => write!(
+                f,
+                "invalid metric surface for {circuit} {component} at \
+                 Vth={vth:.3} V, Tox={tox:.1} A: {metric} = {value} \
+                 (rejected before caching)"
+            ),
+            StudyError::WorkerPanic {
+                label,
+                index,
+                message,
+            } => write!(
+                f,
+                "sweep '{label}' item {index} panicked (contained): {message}"
             ),
         }
     }
@@ -39,7 +89,8 @@ impl Error for StudyError {
         match self {
             StudyError::Device(e) => Some(e),
             StudyError::Geometry(e) => Some(e),
-            StudyError::MissingMissRates { .. } => None,
+            StudyError::Simulator(e) => Some(e),
+            _ => None,
         }
     }
 }
@@ -53,6 +104,12 @@ impl From<DeviceError> for StudyError {
 impl From<GeometryError> for StudyError {
     fn from(e: GeometryError) -> Self {
         StudyError::Geometry(e)
+    }
+}
+
+impl From<SimError> for StudyError {
+    fn from(e: SimError) -> Self {
+        StudyError::Simulator(e)
     }
 }
 
@@ -75,5 +132,45 @@ mod tests {
         };
         assert!(e.to_string().contains("4096"));
         assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn invalid_surface_names_the_coordinate() {
+        let e = StudyError::InvalidSurface {
+            circuit: "64 KB 2-way".into(),
+            component: ComponentId::Decoder,
+            vth: 0.2,
+            tox: 10.0,
+            metric: "delay",
+            value: f64::NAN,
+        };
+        let text = e.to_string();
+        assert!(text.contains("decoder"), "{text}");
+        assert!(text.contains("delay"), "{text}");
+        assert!(text.contains("NaN"), "{text}");
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn worker_panic_carries_the_message() {
+        let e = StudyError::WorkerPanic {
+            label: "eval-surfaces".into(),
+            index: 3,
+            message: "boom".into(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("eval-surfaces") && text.contains("item 3"));
+        assert!(text.contains("boom"));
+    }
+
+    #[test]
+    fn wraps_sim_errors() {
+        let e: StudyError = SimError::NotPowerOfTwo {
+            which: "ways",
+            value: 3,
+        }
+        .into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("cache simulator"));
     }
 }

@@ -30,6 +30,7 @@ mod spec;
 pub use spec::{HierarchySpec, LevelSpec};
 
 use crate::groups::candidate_from_metrics;
+use crate::StudyError;
 use cache::MetricsCache;
 use nm_device::{KnobGrid, KnobPoint};
 use nm_geometry::{
@@ -69,6 +70,8 @@ pub struct EvalStats {
     pub fronts_built: usize,
     /// Front requests served from the cache.
     pub front_hits: usize,
+    /// Computed surfaces rejected by validation (never cached).
+    pub surfaces_rejected: usize,
 }
 
 /// The memoizing evaluation pipeline. One evaluator owns one knob grid;
@@ -81,6 +84,61 @@ pub struct Evaluator {
     fronts: RwLock<Vec<(HierarchySpec, Arc<Vec<FrontPoint>>)>>,
     fronts_built: AtomicUsize,
     front_hits: AtomicUsize,
+    surfaces_rejected: AtomicUsize,
+}
+
+/// Checks every metric of a freshly computed surface before it may enter
+/// the memo cache: delay, each leakage component, both dynamic energies
+/// and area must be finite and non-negative. The paper's Eq.1/Eq.2
+/// exponential fits can overflow to `inf`/NaN when driven outside their
+/// characterized `Vth`/`Tox` region; a poisoned surface cached here would
+/// corrupt every study that later shares it.
+fn validate_surface(
+    circuit: &CacheCircuit,
+    component: ComponentId,
+    surface: &ComponentSurface,
+) -> Result<(), StudyError> {
+    for (p, m) in surface.iter() {
+        let checks: [(&'static str, f64); 7] = [
+            ("delay", m.delay.0),
+            ("subthreshold leakage", m.leakage.subthreshold.0),
+            ("gate leakage", m.leakage.gate.0),
+            ("junction leakage", m.leakage.junction.0),
+            ("read energy", m.read_energy.0),
+            ("write energy", m.write_energy.0),
+            ("area", m.area.0),
+        ];
+        for (metric, value) in checks {
+            if !value.is_finite() || value < 0.0 {
+                return Err(StudyError::InvalidSurface {
+                    circuit: circuit.config().to_string(),
+                    component,
+                    vth: p.vth().0,
+                    tox: p.tox().0,
+                    metric,
+                    value,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Swaps in a NaN-delay metric record when a [`Fault::Nan`]
+/// (`nm_sweep::faultinject::Fault::Nan`) is armed for this
+/// `eval-surfaces` job index — the injection point proving that
+/// validation keeps poisoned surfaces out of the memo cache.
+#[cfg(feature = "faultinject")]
+fn poison_if_armed(surface: ComponentSurface, job_index: usize) -> ComponentSurface {
+    if !nm_sweep::faultinject::take_nan(Some("eval-surfaces"), job_index) {
+        return surface;
+    }
+    let points = surface.points().to_vec();
+    let mut metrics = surface.metrics().to_vec();
+    if let Some(m) = metrics.first_mut() {
+        m.delay = nm_device::units::Seconds(f64::NAN);
+    }
+    ComponentSurface::from_parts(points, metrics)
 }
 
 impl Evaluator {
@@ -94,6 +152,7 @@ impl Evaluator {
             fronts: RwLock::new(Vec::new()),
             fronts_built: AtomicUsize::new(0),
             front_hits: AtomicUsize::new(0),
+            surfaces_rejected: AtomicUsize::new(0),
         }
     }
 
@@ -110,6 +169,7 @@ impl Evaluator {
             surface_hits,
             fronts_built: self.fronts_built.load(Ordering::Relaxed),
             front_hits: self.front_hits.load(Ordering::Relaxed),
+            surfaces_rejected: self.surfaces_rejected.load(Ordering::Relaxed),
         }
     }
 
@@ -121,6 +181,26 @@ impl Evaluator {
     /// sweeps; it is also called internally by [`groups`](Self::groups),
     /// where an all-cached spec skips the sweep entirely.
     pub fn ensure_surfaces(&self, spec: &HierarchySpec) {
+        if let Err(e) = self.try_ensure_surfaces(spec) {
+            panic!("surface build failed: {e}");
+        }
+    }
+
+    /// Fallible [`ensure_surfaces`](Self::ensure_surfaces): builds every
+    /// not-yet-cached component surface a spec needs with per-item panic
+    /// containment and validates each one *before* it is installed, so a
+    /// failed or poisoned computation never enters the memo cache.
+    ///
+    /// Every healthy surface is still installed even when some jobs fail
+    /// (partial progress is kept); the first failure, in job order, is
+    /// returned as [`StudyError::WorkerPanic`] (contained panic) or
+    /// [`StudyError::InvalidSurface`] (NaN/Inf/negative metric, also
+    /// counted in [`EvalStats::surfaces_rejected`]).
+    ///
+    /// # Errors
+    ///
+    /// The first failed or rejected surface build, in job order.
+    pub fn try_ensure_surfaces(&self, spec: &HierarchySpec) -> Result<(), StudyError> {
         let mut jobs: Vec<(CacheCircuit, ComponentId)> = Vec::new();
         for level in spec.levels() {
             for id in COMPONENT_IDS {
@@ -132,15 +212,42 @@ impl Evaluator {
             }
         }
         if jobs.is_empty() {
-            return;
+            return Ok(());
         }
-        let built: Vec<ComponentSurface> = ParallelSweep::new()
+        let run = ParallelSweep::new()
             .labeled("eval-surfaces")
-            .map(&jobs, |(circuit, id)| {
+            .try_map(&jobs, |(circuit, id)| {
                 circuit.component_surface(*id, &self.points)
             });
-        for ((circuit, id), surface) in jobs.iter().zip(built) {
-            self.cache.install(circuit, *id, surface);
+
+        let mut first_error: Option<StudyError> = None;
+        for (job_index, ((circuit, id), outcome)) in jobs.iter().zip(run.results).enumerate() {
+            match outcome {
+                Ok(surface) => {
+                    #[cfg(feature = "faultinject")]
+                    let surface = poison_if_armed(surface, job_index);
+                    #[cfg(not(feature = "faultinject"))]
+                    let _ = job_index;
+                    match validate_surface(circuit, *id, &surface) {
+                        Ok(()) => self.cache.install(circuit, *id, surface),
+                        Err(e) => {
+                            self.surfaces_rejected.fetch_add(1, Ordering::Relaxed);
+                            first_error.get_or_insert(e);
+                        }
+                    }
+                }
+                Err(fault) => {
+                    first_error.get_or_insert(StudyError::WorkerPanic {
+                        label: "eval-surfaces".to_owned(),
+                        index: fault.index,
+                        message: fault.message,
+                    });
+                }
+            }
+        }
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
     }
 
@@ -153,6 +260,21 @@ impl Evaluator {
             .iter()
             .flat_map(|level| self.level_groups(level))
             .collect()
+    }
+
+    /// Fallible [`groups`](Self::groups): propagates surface-build
+    /// failures instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Any error from [`try_ensure_surfaces`](Self::try_ensure_surfaces).
+    pub fn try_groups(&self, spec: &HierarchySpec) -> Result<Vec<Group>, StudyError> {
+        self.try_ensure_surfaces(spec)?;
+        Ok(spec
+            .levels()
+            .iter()
+            .flat_map(|level| self.level_groups(level))
+            .collect())
     }
 
     fn level_groups(&self, level: &LevelSpec) -> Vec<Group> {
@@ -183,20 +305,33 @@ impl Evaluator {
 
     /// The system Pareto front of a spec, memoized per spec.
     pub fn front(&self, spec: &HierarchySpec) -> Arc<Vec<FrontPoint>> {
+        self.try_front(spec)
+            .unwrap_or_else(|e| panic!("front build failed: {e}"))
+    }
+
+    /// Fallible [`front`](Self::front): the memoized system Pareto front,
+    /// propagating surface-build failures. A failed build memoizes
+    /// nothing — neither surfaces nor front — so a later retry starts
+    /// from a clean cache.
+    ///
+    /// # Errors
+    ///
+    /// Any error from [`try_ensure_surfaces`](Self::try_ensure_surfaces).
+    pub fn try_front(&self, spec: &HierarchySpec) -> Result<Arc<Vec<FrontPoint>>, StudyError> {
         if let Some(front) = self.cached_front(spec) {
             self.front_hits.fetch_add(1, Ordering::Relaxed);
-            return front;
+            return Ok(front);
         }
-        let front = Arc::new(system_front(&self.groups(spec)));
+        let front = Arc::new(system_front(&self.try_groups(spec)?));
         let mut fronts = self.fronts.write().expect("front cache lock");
         // Keep the first-stored front if another thread raced us there —
         // both are bit-identical, but callers may compare Arc pointers.
         if let Some((_, existing)) = fronts.iter().find(|(s, _)| s == spec) {
-            return Arc::clone(existing);
+            return Ok(Arc::clone(existing));
         }
         fronts.push((spec.clone(), Arc::clone(&front)));
         self.fronts_built.fetch_add(1, Ordering::Relaxed);
-        front
+        Ok(front)
     }
 
     fn cached_front(&self, spec: &HierarchySpec) -> Option<Arc<Vec<FrontPoint>>> {
@@ -216,6 +351,23 @@ impl Evaluator {
         Some(self.solution(spec, point))
     }
 
+    /// Fallible [`solve`](Self::solve): `Ok(None)` means the constraint
+    /// is infeasible; `Err` means evaluation itself failed.
+    ///
+    /// # Errors
+    ///
+    /// Any error from [`try_ensure_surfaces`](Self::try_ensure_surfaces).
+    pub fn try_solve<C: Constraint>(
+        &self,
+        spec: &HierarchySpec,
+        constraint: &C,
+    ) -> Result<Option<Solution>, StudyError> {
+        let front = self.try_front(spec)?;
+        Ok(constraint
+            .select(&front)
+            .map(|point| self.solution(spec, point)))
+    }
+
     /// [`solve`](Self::solve) with every group restricted to knob values
     /// drawn from the given `Vth`/`Tox` value sets (the single-knob
     /// ablation and tuple-count experiments). Returns `None` when the
@@ -230,12 +382,34 @@ impl Evaluator {
         toxes: &[f64],
         constraint: &C,
     ) -> Option<Solution> {
-        let groups = self.groups(spec);
+        self.try_solve_restricted(spec, vths, toxes, constraint)
+            .unwrap_or_else(|e| panic!("restricted solve failed: {e}"))
+    }
+
+    /// Fallible [`solve_restricted`](Self::solve_restricted): `Ok(None)`
+    /// when the restriction empties a group or the constraint is
+    /// infeasible, `Err` when evaluation itself failed.
+    ///
+    /// # Errors
+    ///
+    /// Any error from [`try_ensure_surfaces`](Self::try_ensure_surfaces).
+    pub fn try_solve_restricted<C: Constraint>(
+        &self,
+        spec: &HierarchySpec,
+        vths: &[f64],
+        toxes: &[f64],
+        constraint: &C,
+    ) -> Result<Option<Solution>, StudyError> {
+        let groups = self.try_groups(spec)?;
         let restricted: Option<Vec<Group>> =
             groups.iter().map(|g| g.restricted(vths, toxes)).collect();
-        let front = system_front(&restricted?);
-        let point = constraint.select(&front)?;
-        Some(self.solution(spec, point))
+        let Some(restricted) = restricted else {
+            return Ok(None);
+        };
+        let front = system_front(&restricted);
+        Ok(constraint
+            .select(&front)
+            .map(|point| self.solution(spec, point)))
     }
 
     fn solution(&self, spec: &HierarchySpec, point: &FrontPoint) -> Solution {
@@ -415,6 +589,99 @@ mod tests {
         let p = e.grid().snap(KnobPoint::nominal());
         let on_grid = ComponentKnobs::uniform(p);
         assert_eq!(e.analyze(&c, &on_grid), c.analyze(&on_grid));
+    }
+
+    #[test]
+    fn try_solve_matches_solve_on_the_healthy_path() {
+        let e = eval();
+        let spec = HierarchySpec::single(
+            circuit(16 * 1024),
+            Scheme::Split,
+            1.0,
+            CostKind::LeakagePower,
+        );
+        let front = e.try_front(&spec).expect("healthy build");
+        let deadline = front.last().expect("non-empty front").delay;
+        let via_try = e
+            .try_solve(&spec, &Deadline(deadline))
+            .expect("healthy build")
+            .expect("feasible");
+        let via_solve = e.solve(&spec, &Deadline(deadline)).expect("feasible");
+        assert_eq!(via_try, via_solve);
+        // Infeasible is Ok(None), not Err.
+        let infeasible = e.try_solve(&spec, &Deadline(front[0].delay * 0.5));
+        assert_eq!(infeasible, Ok(None));
+        assert_eq!(e.stats().surfaces_rejected, 0);
+    }
+
+    #[test]
+    fn healthy_surfaces_pass_validation() {
+        let c = circuit(16 * 1024);
+        let points: Vec<KnobPoint> = KnobGrid::coarse().points().collect();
+        for id in COMPONENT_IDS {
+            let s = c.component_surface(id, &points);
+            assert_eq!(validate_surface(&c, id, &s), Ok(()), "{id}");
+        }
+    }
+
+    #[test]
+    fn validation_rejects_nan_with_the_offending_coordinate() {
+        let c = circuit(16 * 1024);
+        let points: Vec<KnobPoint> = KnobGrid::coarse().points().collect();
+        let healthy = c.component_surface(ComponentId::Decoder, &points);
+        let mut metrics = healthy.metrics().to_vec();
+        metrics[2].delay = nm_device::units::Seconds(f64::NAN);
+        let poisoned = ComponentSurface::from_parts(healthy.points().to_vec(), metrics);
+        let err = validate_surface(&c, ComponentId::Decoder, &poisoned)
+            .expect_err("NaN delay must be rejected");
+        match err {
+            StudyError::InvalidSurface {
+                component,
+                vth,
+                tox,
+                metric,
+                value,
+                ..
+            } => {
+                assert_eq!(component, ComponentId::Decoder);
+                assert_eq!(metric, "delay");
+                assert!(value.is_nan());
+                assert_eq!(vth, points[2].vth().0);
+                assert_eq!(tox, points[2].tox().0);
+            }
+            other => panic!("wrong error class: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validation_rejects_negative_leakage_and_infinite_energy() {
+        let c = circuit(16 * 1024);
+        let points: Vec<KnobPoint> = KnobGrid::coarse().points().collect();
+        let healthy = c.component_surface(ComponentId::DataBus, &points);
+
+        let mut negative = healthy.metrics().to_vec();
+        negative[0].leakage.gate = nm_device::units::Watts(-1e-6);
+        let s = ComponentSurface::from_parts(healthy.points().to_vec(), negative);
+        let err = validate_surface(&c, ComponentId::DataBus, &s).expect_err("negative leakage");
+        assert!(matches!(
+            err,
+            StudyError::InvalidSurface {
+                metric: "gate leakage",
+                ..
+            }
+        ));
+
+        let mut infinite = healthy.metrics().to_vec();
+        infinite[1].read_energy = nm_device::units::Joules(f64::INFINITY);
+        let s = ComponentSurface::from_parts(healthy.points().to_vec(), infinite);
+        let err = validate_surface(&c, ComponentId::DataBus, &s).expect_err("infinite energy");
+        assert!(matches!(
+            err,
+            StudyError::InvalidSurface {
+                metric: "read energy",
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -52,10 +52,19 @@ pub fn component_fits(
                     value: m.delay.0,
                 });
             }
+            let leakage = LeakageFit::fit(&leak_samples)?;
+            let delay = DelayFit::fit(&delay_samples)?;
+            // Range guard: a fitted surface that is non-finite anywhere
+            // on its own training grid is garbage — reject it as a typed
+            // error instead of letting NaN reach the report.
+            for p in grid.points() {
+                leakage.try_evaluate(p)?;
+                delay.try_evaluate(p)?;
+            }
             Ok(ComponentFit {
                 component,
-                leakage: LeakageFit::fit(&leak_samples)?,
-                delay: DelayFit::fit(&delay_samples)?,
+                leakage,
+                delay,
             })
         })
         .collect()

@@ -153,7 +153,16 @@ pub fn cell(value: f64, decimals: usize) -> String {
 pub fn sweep_stats_table(stats: &[SweepStats]) -> Table {
     let mut t = Table::new(
         "Parallel sweeps",
-        &["sweep", "items", "workers", "wall (ms)", "items/s"],
+        &[
+            "sweep",
+            "items",
+            "workers",
+            "wall (ms)",
+            "items/s",
+            "faults",
+            "retries",
+            "dead",
+        ],
     );
     for s in stats {
         t.push_row(vec![
@@ -162,6 +171,9 @@ pub fn sweep_stats_table(stats: &[SweepStats]) -> Table {
             s.workers.to_string(),
             cell(s.wall.as_secs_f64() * 1e3, 1),
             cell(s.items_per_sec(), 0),
+            s.faults.to_string(),
+            s.retries.to_string(),
+            s.poisoned_workers.to_string(),
         ]);
     }
     t
@@ -256,18 +268,25 @@ mod tests {
                 items: 9,
                 workers: 4,
                 wall: std::time::Duration::from_millis(120),
+                faults: 0,
+                retries: 0,
+                poisoned_workers: 0,
             },
             SweepStats {
                 label: "tuple-curves".into(),
                 items: 30,
                 workers: 8,
                 wall: std::time::Duration::from_millis(45),
+                faults: 1,
+                retries: 2,
+                poisoned_workers: 0,
             },
         ];
         let t = sweep_stats_table(&stats);
         assert_eq!(t.len(), 2);
-        assert_eq!(t.headers().len(), 5);
+        assert_eq!(t.headers().len(), 8);
         assert!(t.to_string().contains("missrate-table"));
+        assert!(t.headers().iter().any(|h| h == "faults"));
     }
 
     #[test]

@@ -153,29 +153,32 @@ impl SingleCacheStudy {
     /// **E1 / Figure 1** — the four fixed-knob curves: leakage (mW) versus
     /// access time (ps) under a uniform assignment, holding one knob fixed
     /// and sweeping the other over its grid axis.
-    pub fn fixed_knob_curves(&self) -> Vec<Series> {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StudyError::Device`] when a fixed knob value falls
+    /// outside the technology's legal range (a misconfigured grid).
+    pub fn fixed_knob_curves(&self) -> Result<Vec<Series>, StudyError> {
         let mut series = Vec::new();
         for &tox in &[10.0, 14.0] {
             let mut s = Series::new(format!("Tox={tox:.0}A"));
             for &vth in self.grid().vth_values() {
-                let p = KnobPoint::new(vth, Angstroms(tox)).expect("grid values are legal");
+                let p = KnobPoint::new(vth, Angstroms(tox))?;
                 s.points.push(self.uniform_point(p));
             }
-            s.points
-                .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite access times"));
+            s.points.sort_by(|a, b| a.0.total_cmp(&b.0));
             series.push(s);
         }
         for &vth in &[0.2, 0.4] {
             let mut s = Series::new(format!("Vth={:.0}mV", vth * 1e3));
             for &tox in self.grid().tox_values() {
-                let p = KnobPoint::new(Volts(vth), tox).expect("grid values are legal");
+                let p = KnobPoint::new(Volts(vth), tox)?;
                 s.points.push(self.uniform_point(p));
             }
-            s.points
-                .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite access times"));
+            s.points.sort_by(|a, b| a.0.total_cmp(&b.0));
             series.push(s);
         }
-        series
+        Ok(series)
     }
 
     fn uniform_point(&self, p: KnobPoint) -> (f64, f64) {
@@ -343,7 +346,7 @@ mod tests {
     #[test]
     fn fig1_curves_have_expected_shape() {
         let s = study();
-        let curves = s.fixed_knob_curves();
+        let curves = s.fixed_knob_curves().expect("legal fixed knobs");
         assert_eq!(curves.len(), 4);
         // Every curve: leakage decreases as access time increases.
         for c in &curves {

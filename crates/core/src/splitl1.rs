@@ -41,11 +41,14 @@ pub struct OrganisationRow {
 /// The split-vs-unified study.
 #[derive(Debug, Clone)]
 pub struct SplitL1Study {
-    tech: TechnologyNode,
     eval: Evaluator,
     icache_bytes: u64,
     dcache_bytes: u64,
     l2_bytes: u64,
+    icache_circuit: CacheCircuit,
+    dcache_circuit: CacheCircuit,
+    unified_circuit: CacheCircuit,
+    l2_circuit: CacheCircuit,
     split_stats: SplitStats,
     unified_m1: f64,
     unified_m2: f64,
@@ -67,11 +70,10 @@ impl SplitL1Study {
         steps: u64,
         grid: KnobGrid,
     ) -> Result<Self, StudyError> {
-        let icache = CacheParams::new(icache_bytes, 64, 2).expect("validated below by geometry");
-        let dcache = CacheParams::new(dcache_bytes, 64, 4).expect("validated below by geometry");
-        let l2 = CacheParams::new(l2_bytes, 64, 8).expect("validated below by geometry");
-        let unified = CacheParams::new(icache_bytes + dcache_bytes, 64, 4)
-            .expect("validated below by geometry");
+        let icache = CacheParams::new(icache_bytes, 64, 2)?;
+        let dcache = CacheParams::new(dcache_bytes, 64, 4)?;
+        let l2 = CacheParams::new(l2_bytes, 64, 8)?;
+        let unified = CacheParams::new(icache_bytes + dcache_bytes, 64, 4)?;
 
         let mut data_a = suite.build(2005);
         let split_stats = simulate_split(
@@ -87,19 +89,25 @@ impl SplitL1Study {
         let (u_l1, u_l2) =
             simulate_unified(unified, l2, data_b.as_mut(), 2005, steps, DATA_PER_INST);
 
-        // Validate the geometry side eagerly so errors surface here.
+        // Build every circuit here so impossible geometry surfaces as a
+        // typed error at construction — the query methods then have no
+        // failure path of their own.
         let tech = TechnologyNode::bptm65();
-        let _ = CacheConfig::new(icache_bytes, 64, 2)?;
-        let _ = CacheConfig::new(dcache_bytes, 64, 4)?;
-        let _ = CacheConfig::new(icache_bytes + dcache_bytes, 64, 4)?;
-        let _ = CacheConfig::new(l2_bytes, 64, 8)?;
+        let icache_circuit = CacheCircuit::new(CacheConfig::new(icache_bytes, 64, 2)?, &tech);
+        let dcache_circuit = CacheCircuit::new(CacheConfig::new(dcache_bytes, 64, 4)?, &tech);
+        let unified_circuit =
+            CacheCircuit::new(CacheConfig::new(icache_bytes + dcache_bytes, 64, 4)?, &tech);
+        let l2_circuit = CacheCircuit::new(CacheConfig::new(l2_bytes, 64, 8)?, &tech);
 
         Ok(SplitL1Study {
-            tech,
             eval: Evaluator::new(grid),
             icache_bytes,
             dcache_bytes,
             l2_bytes,
+            icache_circuit,
+            dcache_circuit,
+            unified_circuit,
+            l2_circuit,
             split_stats,
             unified_m1: u_l1.miss_rate(),
             unified_m2: u_l2.miss_rate(),
@@ -115,13 +123,6 @@ impl SplitL1Study {
     /// Unified (m1, m2) miss rates.
     pub fn unified_rates(&self) -> (f64, f64) {
         (self.unified_m1, self.unified_m2)
-    }
-
-    fn circuit(&self, bytes: u64, ways: u64) -> CacheCircuit {
-        CacheCircuit::new(
-            CacheConfig::new(bytes, 64, ways).expect("validated at construction"),
-            &self.tech,
-        )
     }
 
     /// Reference-mix weights: instruction share and data share of the
@@ -142,21 +143,21 @@ impl SplitL1Study {
         let spec = HierarchySpec::new()
             .level(
                 "I$",
-                self.circuit(self.icache_bytes, 2),
+                self.icache_circuit.clone(),
                 Scheme::Split,
                 fi,
                 CostKind::LeakagePower,
             )
             .level(
                 "D$",
-                self.circuit(self.dcache_bytes, 4),
+                self.dcache_circuit.clone(),
                 Scheme::Split,
                 fd,
                 CostKind::LeakagePower,
             )
             .level(
                 "L2",
-                self.circuit(self.l2_bytes, 8),
+                self.l2_circuit.clone(),
                 Scheme::Split,
                 l2_weight,
                 CostKind::LeakagePower,
@@ -181,14 +182,14 @@ impl SplitL1Study {
         let spec = HierarchySpec::new()
             .level(
                 "L1",
-                self.circuit(self.icache_bytes + self.dcache_bytes, 4),
+                self.unified_circuit.clone(),
                 Scheme::Split,
                 1.0,
                 CostKind::LeakagePower,
             )
             .level(
                 "L2",
-                self.circuit(self.l2_bytes, 8),
+                self.l2_circuit.clone(),
                 Scheme::Split,
                 l2_weight,
                 CostKind::LeakagePower,
@@ -210,16 +211,12 @@ impl SplitL1Study {
     pub fn deadline(&self, slack: f64) -> Seconds {
         let (fi, fd) = Self::mix();
         let s = &self.split_stats;
-        let icache = self.circuit(self.icache_bytes, 2);
-        let dcache = self.circuit(self.dcache_bytes, 4);
-        let unified = self.circuit(self.icache_bytes + self.dcache_bytes, 4);
-        let l2 = self.circuit(self.l2_bytes, 8);
-        let t_l2 = l2.fastest_access_time().0;
-        let split_min = fi * icache.fastest_access_time().0
-            + fd * dcache.fastest_access_time().0
+        let t_l2 = self.l2_circuit.fastest_access_time().0;
+        let split_min = fi * self.icache_circuit.fastest_access_time().0
+            + fd * self.dcache_circuit.fastest_access_time().0
             + (fi * s.icache_miss_rate() + fd * s.dcache_miss_rate())
                 * (t_l2 + s.l2_local_miss_rate() * self.memory.access_time.0);
-        let unified_min = unified.fastest_access_time().0
+        let unified_min = self.unified_circuit.fastest_access_time().0
             + self.unified_m1 * (t_l2 + self.unified_m2 * self.memory.access_time.0);
         Seconds(split_min.max(unified_min) * (1.0 + slack))
     }
@@ -317,5 +314,21 @@ mod tests {
     fn table_has_two_rows_per_slack() {
         let t = study().to_table(&[0.10, 0.20]);
         assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn impossible_geometry_is_a_typed_error_not_a_panic() {
+        // 3000 bytes is not a power of two: the simulator parameters
+        // reject it before any simulation or circuit model runs.
+        let err = SplitL1Study::new(
+            3000,
+            16 * 1024,
+            512 * 1024,
+            SuiteKind::Spec2000,
+            1_000,
+            KnobGrid::coarse(),
+        )
+        .expect_err("non-power-of-two L1 must fail");
+        assert!(matches!(err, StudyError::Simulator(_)), "{err:?}");
     }
 }

@@ -75,7 +75,7 @@ impl SweepOutcome {
         self.rows
             .iter()
             .filter_map(|r| r.total_leakage.map(|w| (r, w.0)))
-            .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite leakage"))
+            .min_by(|(_, a), (_, b)| a.total_cmp(b))
             .map(|(r, _)| r)
     }
 

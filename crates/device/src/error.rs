@@ -44,6 +44,19 @@ pub enum DeviceError {
     },
     /// A linear system was singular or ill-conditioned.
     SingularSystem,
+    /// A fitted surface produced a non-finite value — the knob point is
+    /// outside the region the fit is valid in, or the fit itself is
+    /// corrupt.
+    NonFiniteSurface {
+        /// Which surface ("leakage" or "delay").
+        surface: &'static str,
+        /// Threshold voltage evaluated at (volts).
+        vth: f64,
+        /// Oxide thickness evaluated at (ångströms).
+        tox: f64,
+        /// The non-finite value produced.
+        value: f64,
+    },
 }
 
 impl fmt::Display for DeviceError {
@@ -65,6 +78,16 @@ impl fmt::Display for DeviceError {
                 write!(f, "surface fit needs at least {need} samples, got {got}")
             }
             DeviceError::SingularSystem => write!(f, "linear system is singular"),
+            DeviceError::NonFiniteSurface {
+                surface,
+                vth,
+                tox,
+                value,
+            } => write!(
+                f,
+                "fitted {surface} surface is non-finite ({value}) at \
+                 Vth={vth} V, Tox={tox} Å — outside the characterized region"
+            ),
         }
     }
 }

@@ -185,10 +185,37 @@ impl LeakageFit {
     }
 
     /// Evaluates the fitted surface at a knob point.
+    ///
+    /// The raw fitted form — use [`try_evaluate`](Self::try_evaluate) when
+    /// the coefficients may have been perturbed (deserialized, hand-built,
+    /// extrapolated) and garbage must become a typed error instead.
     pub fn evaluate(&self, knobs: KnobPoint) -> f64 {
         self.a0
             + self.a1 * (self.exp_vth * knobs.vth().0).exp()
             + self.a2 * (self.exp_tox * knobs.tox().0).exp()
+    }
+
+    /// [`evaluate`](Self::evaluate) with a range guard: the exponentials
+    /// of Eq. 1 overflow to `inf`/NaN outside the characterized region
+    /// (or under corrupt coefficients), and this surfaces that as a typed
+    /// error instead of letting garbage propagate into a study.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::NonFiniteSurface`] when the surface value
+    /// is NaN or infinite at `knobs`.
+    pub fn try_evaluate(&self, knobs: KnobPoint) -> Result<f64, DeviceError> {
+        let value = self.evaluate(knobs);
+        if value.is_finite() {
+            Ok(value)
+        } else {
+            Err(DeviceError::NonFiniteSurface {
+                surface: "leakage",
+                vth: knobs.vth().0,
+                tox: knobs.tox().0,
+                value,
+            })
+        }
     }
 }
 
@@ -275,8 +302,33 @@ impl DelayFit {
     }
 
     /// Evaluates the fitted surface at a knob point.
+    ///
+    /// The raw fitted form — use [`try_evaluate`](Self::try_evaluate) when
+    /// the coefficients may have been perturbed (deserialized, hand-built,
+    /// extrapolated) and garbage must become a typed error instead.
     pub fn evaluate(&self, knobs: KnobPoint) -> f64 {
         self.k0 + self.k1 * (self.exp_vth * knobs.vth().0).exp() + self.k2 * knobs.tox().0
+    }
+
+    /// [`evaluate`](Self::evaluate) with a range guard: returns a typed
+    /// error instead of a non-finite delay.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::NonFiniteSurface`] when the surface value
+    /// is NaN or infinite at `knobs`.
+    pub fn try_evaluate(&self, knobs: KnobPoint) -> Result<f64, DeviceError> {
+        let value = self.evaluate(knobs);
+        if value.is_finite() {
+            Ok(value)
+        } else {
+            Err(DeviceError::NonFiniteSurface {
+                surface: "delay",
+                vth: knobs.vth().0,
+                tox: knobs.tox().0,
+                value,
+            })
+        }
     }
 }
 
@@ -465,6 +517,51 @@ mod tests {
         };
         let expected_d = 1.0 + 2.0 * (0.9f64).exp() + 40.0;
         assert!((dfit.evaluate(p) - expected_d).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_evaluate_accepts_finite_and_rejects_overflowed_surfaces() {
+        let p = KnobPoint::new(Volts(0.3), Angstroms(10.0)).unwrap();
+        let healthy = LeakageFit {
+            a0: 1.0,
+            a1: 2.0,
+            exp_vth: -10.0,
+            a2: 3.0,
+            exp_tox: -1.0,
+            r_squared: 1.0,
+        };
+        assert_eq!(healthy.try_evaluate(p), Ok(healthy.evaluate(p)));
+
+        // An exponent far outside the physical bracket overflows Eq. 1
+        // to infinity — the guard turns that into a typed error.
+        let overflowed = LeakageFit {
+            exp_tox: 1e3,
+            ..healthy
+        };
+        match overflowed.try_evaluate(p) {
+            Err(DeviceError::NonFiniteSurface {
+                surface, vth, tox, ..
+            }) => {
+                assert_eq!(surface, "leakage");
+                assert_eq!((vth, tox), (0.3, 10.0));
+            }
+            other => panic!("expected NonFiniteSurface, got {other:?}"),
+        }
+
+        let poisoned_delay = DelayFit {
+            k0: f64::NAN,
+            k1: 2.0,
+            exp_vth: 3.0,
+            k2: 4.0,
+            r_squared: 1.0,
+        };
+        assert!(matches!(
+            poisoned_delay.try_evaluate(p),
+            Err(DeviceError::NonFiniteSurface {
+                surface: "delay",
+                ..
+            })
+        ));
     }
 
     #[test]

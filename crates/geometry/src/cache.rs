@@ -292,6 +292,25 @@ impl ComponentSurface {
         }
     }
 
+    /// Assembles a surface from aligned point and metric vectors.
+    ///
+    /// Exists so validation layers and fault-injection harnesses can
+    /// construct (possibly deliberately malformed) surfaces without
+    /// re-running the circuit model; normal callers obtain surfaces from
+    /// [`CacheCircuit::component_surface`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `points` and `metrics` differ in length.
+    pub fn from_parts(points: Vec<KnobPoint>, metrics: Vec<ComponentMetrics>) -> Self {
+        assert_eq!(
+            points.len(),
+            metrics.len(),
+            "surface points and metrics must be aligned"
+        );
+        Self::new(points, metrics)
+    }
+
     /// The knob points the surface was evaluated at, in input order.
     pub fn points(&self) -> &[KnobPoint] {
         &self.points

@@ -1,0 +1,194 @@
+//! Deterministic fault-injection tests for the contained executor.
+//!
+//! Compiled only with `--features faultinject`. The injection plan is
+//! process-global, so every test serialises on [`plan_lock`] and clears
+//! the plan before and after its run.
+
+#![cfg(feature = "faultinject")]
+
+use std::sync::Mutex;
+
+use nm_sweep::faultinject::{arm, armed, clear, take_nan, Fault};
+use nm_sweep::{ParallelSweep, RetryPolicy};
+
+/// Serialises tests sharing the process-global injection plan.
+fn plan_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn items(n: usize) -> Vec<usize> {
+    (0..n).collect()
+}
+
+#[test]
+fn injected_panic_faults_only_its_item() {
+    let _guard = plan_lock();
+    clear();
+    arm(Some("inj"), 4, Fault::Panic, 1);
+
+    let run = ParallelSweep::new()
+        .with_workers(3)
+        .labeled("inj")
+        .try_map(&items(10), |&i| i * 2);
+
+    assert_eq!(run.fault_count(), 1);
+    let fault = run.faults().next().expect("one fault");
+    assert_eq!(fault.index, 4);
+    assert!(fault.message.contains("faultinject"), "{fault}");
+    for (i, r) in run.results.iter().enumerate() {
+        if i != 4 {
+            assert_eq!(*r.as_ref().expect("healthy item"), i * 2);
+        }
+    }
+    assert_eq!(armed(), 0, "fault consumed");
+    clear();
+}
+
+#[test]
+fn injected_panic_recovers_under_retry() {
+    let _guard = plan_lock();
+    clear();
+    // Fires twice; a 3-attempt policy recovers the item on attempt 3.
+    arm(Some("retry"), 2, Fault::Panic, 2);
+
+    let run = ParallelSweep::new()
+        .with_workers(2)
+        .with_retry(RetryPolicy::new(3))
+        .labeled("retry")
+        .try_map(&items(5), |&i| i + 100);
+
+    assert_eq!(run.fault_count(), 0, "item recovered");
+    assert_eq!(run.retries, 2);
+    assert_eq!(*run.results[2].as_ref().expect("recovered"), 102);
+    clear();
+}
+
+#[test]
+fn labels_scope_the_injection() {
+    let _guard = plan_lock();
+    clear();
+    arm(Some("other-sweep"), 0, Fault::Panic, 1);
+
+    let run = ParallelSweep::new()
+        .labeled("this-sweep")
+        .try_map(&items(3), |&i| i);
+    assert_eq!(run.fault_count(), 0, "fault armed for a different label");
+    assert_eq!(armed(), 1, "fault still armed");
+    clear();
+}
+
+#[test]
+fn killed_worker_degrades_to_serial_and_completes() {
+    let _guard = plan_lock();
+    clear();
+    arm(Some("kill"), 3, Fault::KillWorker, 1);
+
+    let run = ParallelSweep::new()
+        .with_workers(2)
+        .labeled("kill")
+        .try_map(&items(12), |&i| i * i);
+
+    assert_eq!(run.poisoned_workers, 1, "one worker died");
+    // The kill fires once in the pool; the serial fallback re-runs the
+    // item with no fault armed, so every item completes.
+    assert_eq!(run.fault_count(), 0);
+    for (i, r) in run.results.iter().enumerate() {
+        assert_eq!(*r.as_ref().expect("completed"), i * i);
+    }
+    clear();
+}
+
+#[test]
+fn all_workers_killed_still_completes_serially() {
+    let _guard = plan_lock();
+    clear();
+    // Two workers, two kills on distinct early items: both workers can
+    // die, leaving the calling thread to finish the sweep alone.
+    arm(Some("massacre"), 0, Fault::KillWorker, 1);
+    arm(Some("massacre"), 1, Fault::KillWorker, 1);
+
+    let run = ParallelSweep::new()
+        .with_workers(2)
+        .labeled("massacre")
+        .try_map(&items(8), |&i| i + 1);
+
+    assert!(run.poisoned_workers >= 1, "at least one worker died");
+    assert_eq!(run.fault_count(), 0);
+    for (i, r) in run.results.iter().enumerate() {
+        assert_eq!(*r.as_ref().expect("completed"), i + 1);
+    }
+    clear();
+}
+
+#[test]
+fn persistent_kill_is_contained_by_the_serial_fallback() {
+    let _guard = plan_lock();
+    clear();
+    // The kill fires in the pool AND again in the serial fallback; the
+    // fallback contains it as an ordinary item fault instead of
+    // unwinding the calling thread.
+    arm(Some("stubborn"), 1, Fault::KillWorker, 2);
+
+    let run = ParallelSweep::new()
+        .with_workers(2)
+        .labeled("stubborn")
+        .try_map(&items(6), |&i| i);
+
+    assert_eq!(run.poisoned_workers, 1);
+    assert_eq!(run.fault_count(), 1);
+    let fault = run.faults().next().expect("contained kill");
+    assert_eq!(fault.index, 1);
+    assert_eq!(run.ok_count(), 5);
+    clear();
+}
+
+#[test]
+fn stall_delays_but_does_not_fail() {
+    let _guard = plan_lock();
+    clear();
+    arm(Some("slow"), 0, Fault::Stall(1_000_000), 1);
+
+    let run = ParallelSweep::new()
+        .with_workers(2)
+        .labeled("slow")
+        .try_map(&items(4), |&i| i * 3);
+
+    assert_eq!(run.fault_count(), 0);
+    assert_eq!(*run.results[0].as_ref().expect("stalled item succeeds"), 0);
+    clear();
+}
+
+#[test]
+fn nan_faults_are_ignored_by_the_executor_and_served_to_consumers() {
+    let _guard = plan_lock();
+    clear();
+    arm(Some("surface"), 2, Fault::Nan, 1);
+
+    // The executor never consumes Nan faults...
+    let run = ParallelSweep::new()
+        .labeled("surface")
+        .try_map(&items(4), |&i| i);
+    assert_eq!(run.fault_count(), 0);
+    assert_eq!(armed(), 1, "Nan fault left for the metric layer");
+
+    // ...a metric-producing layer polls take_nan per item instead.
+    assert!(!take_nan(Some("surface"), 0));
+    assert!(take_nan(Some("surface"), 2));
+    assert!(!take_nan(Some("surface"), 2), "single-shot fault disarmed");
+    assert_eq!(armed(), 0);
+    clear();
+}
+
+#[test]
+fn map_is_unaffected_by_the_contained_machinery() {
+    let _guard = plan_lock();
+    clear();
+    // No faults armed: the fail-fast map path behaves exactly as before.
+    let out = ParallelSweep::new()
+        .with_workers(3)
+        .labeled("plain")
+        .map(&items(9), |&i| i * 7);
+    assert_eq!(out, (0..9).map(|i| i * 7).collect::<Vec<_>>());
+    clear();
+}

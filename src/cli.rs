@@ -44,6 +44,13 @@ OPTIONS:
                        (default: NMCACHE_THREADS or all cores)
   --stats              Print per-sweep executor statistics after the run
   -h, --help           Show this help
+
+EXIT CODES:
+  0  success
+  2  usage error (unknown command/flag, bad value)
+  3  study or model error (impossible geometry, invalid surface, ...)
+  4  trace format error (parse failure, corrupt/truncated binary)
+  5  I/O error (missing trace file, unwritable CSV path)
 ";
 
 /// A parsed invocation.

@@ -2,10 +2,12 @@
 
 use nmcache::archsim::cache::{CacheParams, Replacement};
 use nmcache::archsim::hierarchy::TwoLevel;
-use nmcache::archsim::trace::{read_trace, read_trace_binary, TraceWorkload, BINARY_MAGIC};
+use nmcache::archsim::trace::{
+    read_trace, read_trace_binary, TraceError, TraceWorkload, BINARY_MAGIC,
+};
 use nmcache::archsim::workload::{SuiteKind, Workload};
 use nmcache::archsim::MissRateTable;
-use nmcache::cli::{self, Command, Options, SchemeArg};
+use nmcache::cli::{self, CliError, Command, Options, SchemeArg};
 use nmcache::core::amat::MainMemory;
 use nmcache::core::decay::DecayStudy;
 use nmcache::core::fitcheck::fit_report;
@@ -17,15 +19,90 @@ use nmcache::core::splitl1::SplitL1Study;
 use nmcache::core::thermal::ThermalStudy;
 use nmcache::core::twolevel::{TwoLevelStudy, STANDARD_SUITES};
 use nmcache::core::variation::{paper_16kb_variation, VariationStudy};
+use nmcache::core::StudyError;
 use nmcache::device::{KnobGrid, TechnologyNode};
+use std::fmt;
 use std::process::ExitCode;
+
+/// A fatal error, classified so each failure class maps to a distinct,
+/// documented exit code (see `EXIT CODES` in [`cli::USAGE`]).
+#[derive(Debug)]
+enum AppError {
+    /// Malformed invocation: unknown command/flag or a bad value.
+    Usage(CliError),
+    /// A study or device/geometry model rejected the configuration.
+    Study(StudyError),
+    /// A trace file failed to parse or validate.
+    Trace(TraceError),
+    /// The filesystem said no (missing trace file, unwritable CSV, ...).
+    Io(std::io::Error),
+}
+
+impl AppError {
+    /// The process exit code for this failure class.
+    fn exit_code(&self) -> u8 {
+        match self {
+            AppError::Usage(_) => 2,
+            AppError::Study(_) => 3,
+            AppError::Trace(_) => 4,
+            AppError::Io(_) => 5,
+        }
+    }
+}
+
+impl fmt::Display for AppError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AppError::Usage(e) => write!(f, "{e}"),
+            AppError::Study(e) => write!(f, "{e}"),
+            AppError::Trace(e) => write!(f, "trace: {e}"),
+            AppError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl From<CliError> for AppError {
+    fn from(e: CliError) -> Self {
+        AppError::Usage(e)
+    }
+}
+
+impl From<StudyError> for AppError {
+    fn from(e: StudyError) -> Self {
+        AppError::Study(e)
+    }
+}
+
+impl From<nmcache::geometry::GeometryError> for AppError {
+    fn from(e: nmcache::geometry::GeometryError) -> Self {
+        AppError::Study(e.into())
+    }
+}
+
+impl From<nmcache::archsim::SimError> for AppError {
+    fn from(e: nmcache::archsim::SimError) -> Self {
+        AppError::Study(e.into())
+    }
+}
+
+impl From<TraceError> for AppError {
+    fn from(e: TraceError) -> Self {
+        AppError::Trace(e)
+    }
+}
+
+impl From<std::io::Error> for AppError {
+    fn from(e: std::io::Error) -> Self {
+        AppError::Io(e)
+    }
+}
 
 fn main() -> ExitCode {
     let command = match cli::parse(std::env::args().skip(1)) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("error: {e}\n\n{}", cli::USAGE);
-            return ExitCode::FAILURE;
+            return ExitCode::from(AppError::Usage(e).exit_code());
         }
     };
     let show_stats = configure_sweeps(&command);
@@ -40,7 +117,8 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            eprintln!("hint: run `nmcache help` for usage and exit codes");
+            ExitCode::from(e.exit_code())
         }
     }
 }
@@ -80,12 +158,11 @@ fn options_of(command: &Command) -> Option<&Options> {
     }
 }
 
-fn suite_of(opts: &Options) -> Result<SuiteKind, Box<dyn std::error::Error>> {
+fn suite_of(opts: &Options) -> Result<SuiteKind, AppError> {
     match &opts.suite {
         None => Ok(SuiteKind::Spec2000),
-        Some(name) => {
-            SuiteKind::from_name(name).ok_or_else(|| format!("unknown suite {name:?}").into())
-        }
+        Some(name) => SuiteKind::from_name(name)
+            .ok_or_else(|| CliError(format!("unknown suite {name:?}")).into()),
     }
 }
 
@@ -97,7 +174,7 @@ fn scheme_of(arg: SchemeArg) -> Scheme {
     }
 }
 
-fn emit(table: &Table, opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+fn emit(table: &Table, opts: &Options) -> Result<(), AppError> {
     println!("{table}");
     if let Some(path) = &opts.csv {
         table.write_csv(path)?;
@@ -106,7 +183,7 @@ fn emit(table: &Table, opts: &Options) -> Result<(), Box<dyn std::error::Error>>
     Ok(())
 }
 
-fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
+fn run(command: Command) -> Result<(), AppError> {
     match command {
         Command::Help => {
             println!("{}", cli::USAGE);
@@ -118,7 +195,7 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
         }
         Command::Fig1(opts) => {
             let study = SingleCacheStudy::paper_16kb()?;
-            let series = study.fixed_knob_curves();
+            let series = study.fixed_knob_curves()?;
             println!(
                 "{}",
                 nmcache::core::plot::ascii_plot(
@@ -296,7 +373,12 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
         }
         Command::TraceSim(opts) => {
             let path = opts.trace.as_ref().expect("validated by the parser");
-            let bytes = std::fs::read(path)?;
+            let bytes = std::fs::read(path).map_err(|e| {
+                std::io::Error::new(
+                    e.kind(),
+                    format!("cannot read trace {}: {e}", path.display()),
+                )
+            })?;
             // Auto-detect the compact binary format by its magic.
             let trace = if bytes.starts_with(&BINARY_MAGIC) {
                 read_trace_binary(bytes.as_slice())?
@@ -304,7 +386,7 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
                 read_trace(bytes.as_slice())?
             };
             println!("{}: {} references", path.display(), trace.len());
-            let mut workload = TraceWorkload::new(trace);
+            let mut workload = TraceWorkload::try_new(trace)?;
             let mut h = TwoLevel::new(
                 CacheParams::new(opts.l1_bytes, 64, 4)?,
                 CacheParams::new(opts.l2_bytes, 64, 8)?,

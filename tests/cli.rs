@@ -19,10 +19,76 @@ fn help_prints_usage_and_succeeds() {
 #[test]
 fn unknown_command_fails_with_usage() {
     let out = nmcache().arg("frobnicate").output().expect("binary runs");
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2), "usage errors exit with 2");
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("unknown command"));
     assert!(err.contains("USAGE"));
+}
+
+#[test]
+fn zero_steps_is_a_usage_error() {
+    let out = nmcache()
+        .args(["schemes", "--steps", "0"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "usage errors exit with 2");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--steps must be positive"), "{err}");
+    assert!(err.contains("USAGE"), "usage hint expected: {err}");
+}
+
+#[test]
+fn missing_trace_file_is_an_io_error() {
+    let out = nmcache()
+        .args(["trace-sim", "--trace", "/nonexistent/never.trace"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(5), "I/O errors exit with 5");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("/nonexistent/never.trace"), "{err}");
+    assert!(err.contains("hint:"), "usage hint expected: {err}");
+}
+
+#[test]
+fn unknown_suite_is_a_usage_error_code() {
+    let out = nmcache()
+        .args(["decay", "--suite", "bogus"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "usage errors exit with 2");
+}
+
+#[test]
+fn impossible_geometry_is_a_study_error_code() {
+    // 3 KB is not a power of two; the model layer rejects it.
+    let out = nmcache()
+        .args(["fit", "--l1", "3"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(3), "study errors exit with 3");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error:"), "{err}");
+}
+
+#[test]
+fn corrupt_binary_trace_is_a_trace_error_code() {
+    let dir = std::env::temp_dir().join("nmcache-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace = dir.join("corrupt.bin");
+    // Valid magic + version, then a truncated record.
+    let mut bytes = b"NMTR".to_vec();
+    bytes.push(1); // version
+    bytes.extend_from_slice(&[0u8; 4]); // half a 9-byte record
+    std::fs::write(&trace, &bytes).expect("trace written");
+    let out = nmcache()
+        .args(["trace-sim", "--trace"])
+        .arg(&trace)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(4), "trace errors exit with 4");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("trace:"), "{err}");
+    assert!(err.contains("offset"), "byte offset expected: {err}");
 }
 
 #[test]
