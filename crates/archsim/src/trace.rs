@@ -122,6 +122,7 @@ fn parse_line(line: &str, number: usize) -> Result<Access, TraceError> {
 /// [`TraceError::Io`] on read failure, [`TraceError::Parse`] on a
 /// malformed line.
 pub fn read_trace<R: Read>(reader: R) -> Result<Vec<Access>, TraceError> {
+    let _span = nm_telemetry::span("trace.read");
     let mut out = Vec::new();
     for (i, line) in BufReader::new(reader).lines().enumerate() {
         let line = line?;
@@ -131,6 +132,7 @@ pub fn read_trace<R: Read>(reader: R) -> Result<Vec<Access>, TraceError> {
         }
         out.push(parse_line(trimmed, i + 1)?);
     }
+    nm_telemetry::counter_add("trace.records", out.len() as u64);
     Ok(out)
 }
 
@@ -216,6 +218,7 @@ pub fn read_trace_binary_limited<R: Read>(
     mut reader: R,
     limit: u64,
 ) -> Result<Vec<Access>, TraceError> {
+    let _span = nm_telemetry::span("trace.read_binary");
     let corrupt = |offset: u64, detail: &'static str| TraceError::Corrupt { offset, detail };
     let mut header = [0u8; BINARY_HEADER_BYTES as usize];
     reader
@@ -235,7 +238,10 @@ pub fn read_trace_binary_limited<R: Read>(
         // Peek one byte to distinguish clean EOF from truncation.
         let mut first = [0u8; 1];
         match reader.read(&mut first) {
-            Ok(0) => return Ok(out),
+            Ok(0) => {
+                nm_telemetry::counter_add("trace.records", out.len() as u64);
+                return Ok(out);
+            }
             Ok(_) => {}
             Err(e) => return Err(TraceError::Io(e)),
         }

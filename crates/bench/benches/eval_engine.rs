@@ -7,8 +7,9 @@
 //! once per sweep, every sweep. "After" is `TwoLevelStudy::l2_size_sweep`
 //! on its warmed evaluator, which serves every candidate from the
 //! memoized component surfaces. The measured pair lands in
-//! `BENCH_eval.json` at the workspace root so the perf trajectory has a
-//! data point.
+//! `BENCH_eval.json` at the workspace root — rendered through the
+//! `nm_telemetry` report writer, so the artifact shares the run-report
+//! schema — and the perf trajectory has a data point.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use nm_cache_core::amat::{memory_floor, MainMemory};
@@ -114,22 +115,31 @@ fn bench(c: &mut Criterion) {
     });
     let speedup = before_ms / after_ms;
 
-    let json = format!(
-        "{{\n  \"experiment\": \"E3 L2-size sweep ({} sizes, {} grid points, {})\",\n  \
-         \"iterations\": {},\n  \"cold_sweep_ms\": {:.3},\n  \"before_direct_ms\": {:.3},\n  \
-         \"after_memoized_ms\": {:.3},\n  \"speedup\": {:.2}\n}}\n",
-        l2_sizes.len(),
-        study.grid().points().count(),
-        SCHEME,
-        ITERATIONS,
-        cold_ms,
-        before_ms,
-        after_ms,
-        speedup
+    // Render the artifact through the shared telemetry report writer so
+    // it carries the same schema (and key ordering) as `--metrics` runs.
+    // The bench measures its own wall times above, so the registry only
+    // holds what we stage into it here.
+    nm_telemetry::reset();
+    nm_telemetry::enable();
+    nm_telemetry::set_note(
+        "experiment",
+        &format!(
+            "E3 L2-size sweep ({} sizes, {} grid points, {})",
+            l2_sizes.len(),
+            study.grid().points().count(),
+            SCHEME
+        ),
     );
+    nm_telemetry::set_gauge("bench.iterations", f64::from(ITERATIONS));
+    nm_telemetry::set_gauge("bench.cold_sweep_ms", cold_ms);
+    nm_telemetry::set_gauge("bench.before_direct_ms", before_ms);
+    nm_telemetry::set_gauge("bench.after_memoized_ms", after_ms);
+    nm_telemetry::set_gauge("bench.speedup", speedup);
+    let report = nm_telemetry::RunReport::from_snapshot(nm_telemetry::drain());
+    nm_telemetry::disable();
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_eval.json");
-    std::fs::write(&path, &json).expect("can write BENCH_eval.json");
-    println!("\n{json}");
+    report.write(&path).expect("can write BENCH_eval.json");
+    println!("\n{}", report.to_json());
     println!("[artifact] {}", path.display());
 
     c.bench_function("eval/e3_l2_sweep_memoized", |b| {

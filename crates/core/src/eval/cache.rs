@@ -83,10 +83,12 @@ impl MetricsCache {
         let slot = &surfaces.slots[id.index()];
         if let Some(existing) = slot.get() {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            nm_telemetry::counter_inc("eval.surface_hit");
             return Arc::clone(existing);
         }
         let built = slot.get_or_init(|| {
             self.built.fetch_add(1, Ordering::Relaxed);
+            nm_telemetry::counter_inc("eval.surface_built");
             Arc::new(circuit.component_surface(id, points))
         });
         Arc::clone(built)
@@ -104,6 +106,7 @@ impl MetricsCache {
         let surfaces = self.surfaces_of(circuit);
         if surfaces.slots[id.index()].set(Arc::new(surface)).is_ok() {
             self.built.fetch_add(1, Ordering::Relaxed);
+            nm_telemetry::counter_inc("eval.surface_built");
         }
     }
 

@@ -201,6 +201,7 @@ impl Evaluator {
     ///
     /// The first failed or rejected surface build, in job order.
     pub fn try_ensure_surfaces(&self, spec: &HierarchySpec) -> Result<(), StudyError> {
+        let _span = nm_telemetry::span("eval.ensure_surfaces");
         let mut jobs: Vec<(CacheCircuit, ComponentId)> = Vec::new();
         for level in spec.levels() {
             for id in COMPONENT_IDS {
@@ -217,7 +218,17 @@ impl Evaluator {
         let run = ParallelSweep::new()
             .labeled("eval-surfaces")
             .try_map(&jobs, |(circuit, id)| {
-                circuit.component_surface(*id, &self.points)
+                if nm_telemetry::enabled() {
+                    let t0 = std::time::Instant::now();
+                    let surface = circuit.component_surface(*id, &self.points);
+                    nm_telemetry::observe_seconds(
+                        "eval.surface_build_seconds",
+                        t0.elapsed().as_secs_f64(),
+                    );
+                    surface
+                } else {
+                    circuit.component_surface(*id, &self.points)
+                }
             });
 
         let mut first_error: Option<StudyError> = None;
@@ -232,6 +243,7 @@ impl Evaluator {
                         Ok(()) => self.cache.install(circuit, *id, surface),
                         Err(e) => {
                             self.surfaces_rejected.fetch_add(1, Ordering::Relaxed);
+                            nm_telemetry::counter_inc("eval.surface_rejected");
                             first_error.get_or_insert(e);
                         }
                     }
@@ -318,8 +330,10 @@ impl Evaluator {
     ///
     /// Any error from [`try_ensure_surfaces`](Self::try_ensure_surfaces).
     pub fn try_front(&self, spec: &HierarchySpec) -> Result<Arc<Vec<FrontPoint>>, StudyError> {
+        let _span = nm_telemetry::span("eval.front");
         if let Some(front) = self.cached_front(spec) {
             self.front_hits.fetch_add(1, Ordering::Relaxed);
+            nm_telemetry::counter_inc("eval.front_hit");
             return Ok(front);
         }
         let front = Arc::new(system_front(&self.try_groups(spec)?));
@@ -331,6 +345,7 @@ impl Evaluator {
         }
         fronts.push((spec.clone(), Arc::clone(&front)));
         self.fronts_built.fetch_add(1, Ordering::Relaxed);
+        nm_telemetry::counter_inc("eval.front_built");
         Ok(front)
     }
 
@@ -362,6 +377,7 @@ impl Evaluator {
         spec: &HierarchySpec,
         constraint: &C,
     ) -> Result<Option<Solution>, StudyError> {
+        let _span = nm_telemetry::span("eval.solve");
         let front = self.try_front(spec)?;
         Ok(constraint
             .select(&front)

@@ -166,6 +166,7 @@ impl LeakageFit {
     /// [`DeviceError::SingularSystem`] if the samples are degenerate (e.g.
     /// all at one knob point).
     pub fn fit(samples: &[Sample]) -> Result<Self, DeviceError> {
+        let _span = nm_telemetry::span("device.fit.leakage");
         if samples.len() < 6 {
             return Err(DeviceError::TooFewSamples {
                 got: samples.len(),
@@ -190,6 +191,7 @@ impl LeakageFit {
     /// the coefficients may have been perturbed (deserialized, hand-built,
     /// extrapolated) and garbage must become a typed error instead.
     pub fn evaluate(&self, knobs: KnobPoint) -> f64 {
+        nm_telemetry::counter_inc("device.evaluate");
         self.a0
             + self.a1 * (self.exp_vth * knobs.vth().0).exp()
             + self.a2 * (self.exp_tox * knobs.tox().0).exp()
@@ -205,6 +207,7 @@ impl LeakageFit {
     /// Returns [`DeviceError::NonFiniteSurface`] when the surface value
     /// is NaN or infinite at `knobs`.
     pub fn try_evaluate(&self, knobs: KnobPoint) -> Result<f64, DeviceError> {
+        nm_telemetry::counter_inc("device.try_evaluate");
         let value = self.evaluate(knobs);
         if value.is_finite() {
             Ok(value)
@@ -252,6 +255,7 @@ impl DelayFit {
     /// Returns [`DeviceError::TooFewSamples`] with fewer than 5 samples and
     /// [`DeviceError::SingularSystem`] for degenerate sample sets.
     pub fn fit(samples: &[Sample]) -> Result<Self, DeviceError> {
+        let _span = nm_telemetry::span("device.fit.delay");
         if samples.len() < 5 {
             return Err(DeviceError::TooFewSamples {
                 got: samples.len(),
@@ -307,6 +311,7 @@ impl DelayFit {
     /// the coefficients may have been perturbed (deserialized, hand-built,
     /// extrapolated) and garbage must become a typed error instead.
     pub fn evaluate(&self, knobs: KnobPoint) -> f64 {
+        nm_telemetry::counter_inc("device.evaluate");
         self.k0 + self.k1 * (self.exp_vth * knobs.vth().0).exp() + self.k2 * knobs.tox().0
     }
 
@@ -318,6 +323,7 @@ impl DelayFit {
     /// Returns [`DeviceError::NonFiniteSurface`] when the surface value
     /// is NaN or infinite at `knobs`.
     pub fn try_evaluate(&self, knobs: KnobPoint) -> Result<f64, DeviceError> {
+        nm_telemetry::counter_inc("device.try_evaluate");
         let value = self.evaluate(knobs);
         if value.is_finite() {
             Ok(value)

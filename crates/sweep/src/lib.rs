@@ -54,8 +54,7 @@
 
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Environment variable overriding the default worker count.
@@ -329,6 +328,16 @@ impl ParallelSweep {
         let start = Instant::now();
         let n = items.len();
         let workers = self.workers.min(n.max(1));
+        // Per-item latency is only timed while telemetry records; with it
+        // off the hot loop is untouched (one relaxed load per sweep).
+        let item_hist = nm_telemetry::enabled()
+            .then(|| format!("sweep.item.{}", self.label.as_deref().unwrap_or("sweep")));
+        let _sweep_span = item_hist.as_ref().map(|_| {
+            nm_telemetry::span(format!(
+                "sweep.{}",
+                self.label.as_deref().unwrap_or("sweep")
+            ))
+        });
 
         let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
         slots.resize_with(n, || None);
@@ -345,7 +354,19 @@ impl ParallelSweep {
                                 if i >= n {
                                     break;
                                 }
-                                local.push((i, f(&items[i])));
+                                let r = match &item_hist {
+                                    Some(hist) => {
+                                        let t0 = Instant::now();
+                                        let r = f(&items[i]);
+                                        nm_telemetry::observe_seconds(
+                                            hist,
+                                            t0.elapsed().as_secs_f64(),
+                                        );
+                                        r
+                                    }
+                                    None => f(&items[i]),
+                                };
+                                local.push((i, r));
                             }
                             local
                         })
@@ -408,6 +429,11 @@ impl ParallelSweep {
         let label = self.label.as_deref();
         let attempts = self.retry.attempts();
         let retries = AtomicUsize::new(0);
+        let item_hist =
+            nm_telemetry::enabled().then(|| format!("sweep.item.{}", label.unwrap_or("sweep")));
+        let _sweep_span = item_hist
+            .as_ref()
+            .map(|_| nm_telemetry::span(format!("sweep.{}", label.unwrap_or("sweep"))));
 
         // One contained execution of item `i`, shared by the parallel
         // and the degraded-serial paths. In degraded mode an injected
@@ -415,6 +441,7 @@ impl ParallelSweep {
         // thread must survive.
         let run_item = |i: usize, degraded: bool| -> Result<R, ItemFault> {
             let mut last = String::new();
+            let item_start = item_hist.as_ref().map(|_| Instant::now());
             for attempt in 1..=attempts {
                 let fault = exec_fault(label, i);
                 if matches!(fault, Some(ExecFault::KillWorker)) && !degraded {
@@ -434,7 +461,12 @@ impl ParallelSweep {
                     f(&items[i])
                 }));
                 match outcome {
-                    Ok(r) => return Ok(r),
+                    Ok(r) => {
+                        if let (Some(hist), Some(t0)) = (&item_hist, item_start) {
+                            nm_telemetry::observe_seconds(hist, t0.elapsed().as_secs_f64());
+                        }
+                        return Ok(r);
+                    }
                     Err(payload) => {
                         last = panic_message(payload.as_ref());
                         if attempt < attempts {
@@ -564,46 +596,69 @@ impl SweepStats {
 pub mod stats {
     //! Process-wide sweep-statistics registry.
     //!
-    //! Disabled by default so library users pay nothing; the CLI enables
-    //! it for `--stats` and drains it after the command finishes.
+    //! Since the unified telemetry layer this module is a compatibility
+    //! view over [`nm_telemetry`]: `enable`/`disable` toggle the global
+    //! telemetry gate, `record` stores sweeps (plus `sweep.*` counters)
+    //! in the shared registry, and `drain` removes only the sweep
+    //! entries, preserving the original drain-isolates-regions
+    //! semantics. Disabled by default so library users pay nothing; the
+    //! CLI enables it for `--stats` and drains it after the command
+    //! finishes.
 
-    use super::{AtomicBool, Mutex, Ordering, SweepStats};
+    use super::SweepStats;
+    use std::time::Duration;
 
-    static ENABLED: AtomicBool = AtomicBool::new(false);
-    static REGISTRY: Mutex<Vec<SweepStats>> = Mutex::new(Vec::new());
-
-    /// Starts recording sweep statistics.
+    /// Starts recording sweep statistics (enables the whole unified
+    /// telemetry registry — sweeps, counters, spans share one gate).
     pub fn enable() {
-        ENABLED.store(true, Ordering::Relaxed);
+        nm_telemetry::enable();
     }
 
     /// Stops recording (already-recorded entries are kept until drained).
     pub fn disable() {
-        ENABLED.store(false, Ordering::Relaxed);
+        nm_telemetry::disable();
     }
 
     /// `true` while recording.
     pub fn enabled() -> bool {
-        ENABLED.load(Ordering::Relaxed)
+        nm_telemetry::enabled()
     }
 
     /// Records one entry (no-op while disabled).
     pub fn record(entry: SweepStats) {
-        if enabled() {
-            REGISTRY
-                .lock()
-                .unwrap_or_else(|poisoned| poisoned.into_inner())
-                .push(entry);
+        if !enabled() {
+            return;
         }
+        nm_telemetry::counter_add("sweep.items", entry.items as u64);
+        nm_telemetry::counter_add("sweep.faults", entry.faults as u64);
+        nm_telemetry::counter_add("sweep.retries", entry.retries as u64);
+        nm_telemetry::counter_add("sweep.poisoned_workers", entry.poisoned_workers as u64);
+        nm_telemetry::record_sweep(nm_telemetry::SweepRecord {
+            label: entry.label,
+            items: entry.items,
+            workers: entry.workers,
+            wall_ns: entry.wall.as_nanos().min(u128::from(u64::MAX)) as u64,
+            faults: entry.faults,
+            retries: entry.retries,
+            poisoned_workers: entry.poisoned_workers,
+        });
     }
 
     /// Removes and returns every recorded entry, in recording order.
+    /// Counters, spans and histograms stay in the registry.
     pub fn drain() -> Vec<SweepStats> {
-        std::mem::take(
-            &mut *REGISTRY
-                .lock()
-                .unwrap_or_else(|poisoned| poisoned.into_inner()),
-        )
+        nm_telemetry::drain_sweeps()
+            .into_iter()
+            .map(|r| SweepStats {
+                label: r.label,
+                items: r.items,
+                workers: r.workers,
+                wall: Duration::from_nanos(r.wall_ns),
+                faults: r.faults,
+                retries: r.retries,
+                poisoned_workers: r.poisoned_workers,
+            })
+            .collect()
     }
 }
 
@@ -719,6 +774,7 @@ pub mod faultinject {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
 
     #[test]
     fn map_preserves_submission_order() {

@@ -1,0 +1,141 @@
+//! Hierarchical timed spans: RAII guards over monotonic clocks with
+//! per-thread parent/child nesting.
+
+use crate::registry;
+use std::cell::RefCell;
+use std::sync::Mutex;
+use std::thread::ThreadId;
+use std::time::Instant;
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span label, e.g. `"eval.ensure_surfaces"`.
+    pub label: String,
+    /// Label of the span this one nested under, if any (same thread).
+    pub parent: Option<String>,
+    /// Nesting depth on its thread (0 = top level).
+    pub depth: usize,
+    /// Small dense id of the recording thread (stable within a process).
+    pub thread: usize,
+    /// Start time in nanoseconds since the process telemetry epoch.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub duration_ns: u64,
+}
+
+thread_local! {
+    /// Labels of the spans currently open on this thread, outermost first.
+    static OPEN: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Maps `ThreadId`s to small dense indices for trace export.
+fn thread_index() -> usize {
+    static THREADS: Mutex<Vec<ThreadId>> = Mutex::new(Vec::new());
+    let id = std::thread::current().id();
+    let mut threads = THREADS.lock().unwrap_or_else(|p| p.into_inner());
+    match threads.iter().position(|t| *t == id) {
+        Some(i) => i,
+        None => {
+            threads.push(id);
+            threads.len() - 1
+        }
+    }
+}
+
+/// RAII guard returned by [`crate::span`]; records the span when dropped.
+/// Inert (records nothing) when telemetry was disabled at open time.
+#[derive(Debug)]
+pub struct SpanGuard {
+    active: Option<Active>,
+}
+
+#[derive(Debug)]
+struct Active {
+    label: String,
+    parent: Option<String>,
+    depth: usize,
+    start: Instant,
+}
+
+/// An inert guard: drops without recording anything.
+pub(crate) fn inert() -> SpanGuard {
+    SpanGuard { active: None }
+}
+
+pub(crate) fn open(label: String) -> SpanGuard {
+    if !crate::enabled() {
+        return inert();
+    }
+    // Touch the epoch before taking the start time so `start_ns` is
+    // never negative relative to it.
+    let _ = registry::epoch();
+    let (parent, depth) = OPEN.with(|open| {
+        let mut open = open.borrow_mut();
+        let parent = open.last().cloned();
+        let depth = open.len();
+        open.push(label.clone());
+        (parent, depth)
+    });
+    SpanGuard {
+        active: Some(Active {
+            label,
+            parent,
+            depth,
+            start: Instant::now(),
+        }),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else {
+            return;
+        };
+        let duration = active.start.elapsed();
+        OPEN.with(|open| {
+            let mut open = open.borrow_mut();
+            // Unbalanced drops (a guard outliving deeper guards) cannot
+            // happen through the public RAII API, but stay defensive.
+            if open.last() == Some(&active.label) {
+                open.pop();
+            }
+        });
+        let start_ns = active
+            .start
+            .duration_since(registry::epoch())
+            .as_nanos()
+            .min(u128::from(u64::MAX)) as u64;
+        let record = SpanRecord {
+            label: active.label,
+            parent: active.parent,
+            depth: active.depth,
+            thread: thread_index(),
+            start_ns,
+            duration_ns: duration.as_nanos().min(u128::from(u64::MAX)) as u64,
+        };
+        log_span(&record);
+        registry::record_span(record);
+    }
+}
+
+/// One-line human-readable span summary on stderr, gated by the global
+/// log level: `Info` prints top-level spans, `Debug` prints every span
+/// indented by depth.
+fn log_span(record: &SpanRecord) {
+    let level = crate::log_level();
+    let log = match level {
+        crate::LogLevel::Off => false,
+        crate::LogLevel::Info => record.depth == 0,
+        crate::LogLevel::Debug => true,
+    };
+    if log {
+        let ms = record.duration_ns as f64 / 1e6;
+        eprintln!(
+            "[telemetry] {:indent$}{} {ms:.3} ms",
+            "",
+            record.label,
+            indent = record.depth * 2
+        );
+    }
+}

@@ -43,6 +43,9 @@ OPTIONS:
   --threads <N>        Worker threads for parallel sweeps
                        (default: NMCACHE_THREADS or all cores)
   --stats              Print per-sweep executor statistics after the run
+  --metrics <PATH>     Write a schema-versioned JSON telemetry report
+  --trace-out <PATH>   Write a Chrome/Perfetto trace-event JSON of the run
+  --log-level <LEVEL>  Span logging on stderr: off | info | debug (default off)
   -h, --help           Show this help
 
 EXIT CODES:
@@ -130,6 +133,25 @@ pub struct Options {
     pub threads: Option<usize>,
     /// Print per-sweep executor statistics after the run.
     pub stats: bool,
+    /// Telemetry report output path (`--metrics`).
+    pub metrics: Option<PathBuf>,
+    /// Chrome trace-event output path (`--trace-out`).
+    pub trace_out: Option<PathBuf>,
+    /// Span-logging verbosity on stderr (`--log-level`).
+    pub log_level: LogLevelArg,
+}
+
+/// Span-logging verbosity selector (mirrors `nm_telemetry::LogLevel`
+/// without importing it here, keeping the parser dependency-free).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LogLevelArg {
+    /// No span logging (the default).
+    #[default]
+    Off,
+    /// Top-level spans only.
+    Info,
+    /// Every span, indented by nesting depth.
+    Debug,
 }
 
 impl Default for Options {
@@ -147,6 +169,9 @@ impl Default for Options {
             l2_bytes: 1024 * 1024,
             threads: None,
             stats: false,
+            metrics: None,
+            trace_out: None,
+            log_level: LogLevelArg::Off,
         }
     }
 }
@@ -254,6 +279,20 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, CliErro
                 opts.threads = Some(n);
             }
             "--stats" => opts.stats = true,
+            "--metrics" => opts.metrics = Some(PathBuf::from(value(&mut i, "--metrics")?)),
+            "--trace-out" => opts.trace_out = Some(PathBuf::from(value(&mut i, "--trace-out")?)),
+            "--log-level" => {
+                opts.log_level = match value(&mut i, "--log-level")?.as_str() {
+                    "off" => LogLevelArg::Off,
+                    "info" => LogLevelArg::Info,
+                    "debug" => LogLevelArg::Debug,
+                    other => {
+                        return Err(CliError(format!(
+                            "unknown log level {other:?} (expected off, info or debug)"
+                        )))
+                    }
+                };
+            }
             other => return Err(CliError(format!("unknown flag {other:?}"))),
         }
         i += 1;
@@ -391,6 +430,34 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn telemetry_flags_parse() {
+        match parse_str("schemes --metrics m.json --trace-out t.json --log-level debug").unwrap() {
+            Command::Schemes(o) => {
+                assert_eq!(o.metrics.unwrap(), PathBuf::from("m.json"));
+                assert_eq!(o.trace_out.unwrap(), PathBuf::from("t.json"));
+                assert_eq!(o.log_level, LogLevelArg::Debug);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_str("schemes --log-level info").unwrap() {
+            Command::Schemes(o) => assert_eq!(o.log_level, LogLevelArg::Info),
+            other => panic!("{other:?}"),
+        }
+        // Defaults: everything off.
+        match parse_str("schemes").unwrap() {
+            Command::Schemes(o) => {
+                assert_eq!(o.metrics, None);
+                assert_eq!(o.trace_out, None);
+                assert_eq!(o.log_level, LogLevelArg::Off);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_str("schemes --log-level verbose").is_err());
+        assert!(parse_str("schemes --metrics").is_err());
+        assert!(parse_str("schemes --trace-out").is_err());
     }
 
     #[test]

@@ -17,3 +17,4 @@ pub use nm_device as device;
 pub use nm_geometry as geometry;
 pub use nm_opt as opt;
 pub use nm_sweep as sweep;
+pub use nm_telemetry as telemetry;

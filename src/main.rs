@@ -7,7 +7,7 @@ use nmcache::archsim::trace::{
 };
 use nmcache::archsim::workload::{SuiteKind, Workload};
 use nmcache::archsim::MissRateTable;
-use nmcache::cli::{self, CliError, Command, Options, SchemeArg};
+use nmcache::cli::{self, CliError, Command, LogLevelArg, Options, SchemeArg};
 use nmcache::core::amat::MainMemory;
 use nmcache::core::decay::DecayStudy;
 use nmcache::core::fitcheck::fit_report;
@@ -105,14 +105,8 @@ fn main() -> ExitCode {
             return ExitCode::from(AppError::Usage(e).exit_code());
         }
     };
-    let show_stats = configure_sweeps(&command);
-    let result = run(command);
-    if show_stats {
-        let recorded = nmcache::sweep::stats::drain();
-        if !recorded.is_empty() {
-            println!("\n{}", nmcache::core::report::sweep_stats_table(&recorded));
-        }
-    }
+    let telemetry = configure_telemetry(&command);
+    let result = run(command).and_then(|()| finish_telemetry(&telemetry));
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -123,19 +117,116 @@ fn main() -> ExitCode {
     }
 }
 
-/// Applies the `--threads` override and enables stats recording when
-/// `--stats` was given; returns whether to print the stats table.
-fn configure_sweeps(command: &Command) -> bool {
+/// What to do with the telemetry registry once the command finishes.
+#[derive(Debug, Default)]
+struct TelemetryPlan {
+    show_stats: bool,
+    metrics: Option<std::path::PathBuf>,
+    trace_out: Option<std::path::PathBuf>,
+}
+
+/// Applies the `--threads` override and arms the unified telemetry
+/// registry when any observability flag (`--stats`, `--metrics`,
+/// `--trace-out`, `--log-level`) asks for it. With all of them off the
+/// registry stays disabled and instrumented code pays one relaxed
+/// atomic load per call site, keeping golden outputs byte-identical.
+fn configure_telemetry(command: &Command) -> TelemetryPlan {
     let Some(opts) = options_of(command) else {
-        return false;
+        return TelemetryPlan::default();
     };
     if let Some(n) = opts.threads {
         nmcache::sweep::set_global_workers(Some(n));
     }
-    if opts.stats {
-        nmcache::sweep::stats::enable();
+    let level = match opts.log_level {
+        LogLevelArg::Off => nmcache::telemetry::LogLevel::Off,
+        LogLevelArg::Info => nmcache::telemetry::LogLevel::Info,
+        LogLevelArg::Debug => nmcache::telemetry::LogLevel::Debug,
+    };
+    nmcache::telemetry::set_log_level(level);
+    let wanted = opts.stats
+        || opts.metrics.is_some()
+        || opts.trace_out.is_some()
+        || level != nmcache::telemetry::LogLevel::Off;
+    if wanted {
+        nmcache::telemetry::enable();
+        nmcache::telemetry::set_note("command", command_name(command));
     }
-    opts.stats
+    TelemetryPlan {
+        show_stats: opts.stats,
+        metrics: opts.metrics.clone(),
+        trace_out: opts.trace_out.clone(),
+    }
+}
+
+/// Exports the run's telemetry per the plan: the `--stats` table, the
+/// `--metrics` JSON report and the `--trace-out` Chrome trace all read
+/// one registry snapshot, so they always agree with each other.
+fn finish_telemetry(plan: &TelemetryPlan) -> Result<(), AppError> {
+    if !plan.show_stats && plan.metrics.is_none() && plan.trace_out.is_none() {
+        return Ok(());
+    }
+    let snapshot = nmcache::telemetry::snapshot();
+    if let Some(path) = &plan.metrics {
+        nmcache::telemetry::RunReport::from_snapshot(snapshot.clone())
+            .write(path)
+            .map_err(|e| {
+                std::io::Error::new(
+                    e.kind(),
+                    format!("cannot write metrics report {}: {e}", path.display()),
+                )
+            })?;
+        eprintln!("[metrics] {}", path.display());
+    }
+    if let Some(path) = &plan.trace_out {
+        nmcache::telemetry::report::write_chrome_trace(&snapshot, path).map_err(|e| {
+            std::io::Error::new(
+                e.kind(),
+                format!("cannot write trace {}: {e}", path.display()),
+            )
+        })?;
+        eprintln!("[trace] {}", path.display());
+    }
+    if plan.show_stats {
+        let recorded: Vec<nmcache::sweep::SweepStats> = snapshot
+            .sweeps
+            .iter()
+            .map(|r| nmcache::sweep::SweepStats {
+                label: r.label.clone(),
+                items: r.items,
+                workers: r.workers,
+                wall: std::time::Duration::from_nanos(r.wall_ns),
+                faults: r.faults,
+                retries: r.retries,
+                poisoned_workers: r.poisoned_workers,
+            })
+            .collect();
+        if !recorded.is_empty() {
+            println!("\n{}", nmcache::core::report::sweep_stats_table(&recorded));
+        }
+    }
+    Ok(())
+}
+
+/// The subcommand's name, recorded as the report's `command` note.
+fn command_name(command: &Command) -> &'static str {
+    match command {
+        Command::Fig1(_) => "fig1",
+        Command::Fig2(_) => "fig2",
+        Command::Schemes(_) => "schemes",
+        Command::L2Sweep(_) => "l2-sweep",
+        Command::L1Sweep(_) => "l1-sweep",
+        Command::Ablation(_) => "ablation",
+        Command::Fit(_) => "fit",
+        Command::Explore(_) => "explore",
+        Command::MissRates(_) => "missrates",
+        Command::Variation(_) => "variation",
+        Command::Thermal(_) => "thermal",
+        Command::Decay(_) => "decay",
+        Command::SplitL1(_) => "split-l1",
+        Command::TraceSim(_) => "trace-sim",
+        Command::List => "list",
+        Command::Help => "help",
+    }
 }
 
 fn options_of(command: &Command) -> Option<&Options> {
