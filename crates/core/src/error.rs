@@ -1,6 +1,7 @@
 use nm_archsim::SimError;
 use nm_device::DeviceError;
 use nm_geometry::{ComponentId, GeometryError};
+use nm_opt::merge::EmptySystemError;
 use std::error::Error;
 use std::fmt;
 
@@ -38,6 +39,9 @@ pub enum StudyError {
         /// The offending value (NaN, infinite, or negative).
         value: f64,
     },
+    /// A hierarchy spec produced no optimiser groups (zero cache levels),
+    /// so there is no system front to merge.
+    EmptySystem,
     /// A sweep work item panicked and was contained by the executor.
     WorkerPanic {
         /// Label of the sweep whose item failed.
@@ -72,6 +76,9 @@ impl fmt::Display for StudyError {
                  Vth={vth:.3} V, Tox={tox:.1} A: {metric} = {value} \
                  (rejected before caching)"
             ),
+            StudyError::EmptySystem => {
+                write!(f, "hierarchy spec has no cache levels: nothing to optimise")
+            }
             StudyError::WorkerPanic {
                 label,
                 index,
@@ -110,6 +117,12 @@ impl From<GeometryError> for StudyError {
 impl From<SimError> for StudyError {
     fn from(e: SimError) -> Self {
         StudyError::Simulator(e)
+    }
+}
+
+impl From<EmptySystemError> for StudyError {
+    fn from(_: EmptySystemError) -> Self {
+        StudyError::EmptySystem
     }
 }
 
@@ -161,6 +174,14 @@ mod tests {
         let text = e.to_string();
         assert!(text.contains("eval-surfaces") && text.contains("item 3"));
         assert!(text.contains("boom"));
+    }
+
+    #[test]
+    fn empty_system_maps_from_the_merge_error() {
+        let e: StudyError = EmptySystemError.into();
+        assert_eq!(e, StudyError::EmptySystem);
+        assert!(e.to_string().contains("no cache levels"));
+        assert!(e.source().is_none());
     }
 
     #[test]

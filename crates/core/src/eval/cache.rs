@@ -147,7 +147,7 @@ mod tests {
         let points: Vec<KnobPoint> = KnobGrid::coarse().points().collect();
         let small = cache.surface(&circuit(16 * 1024), ComponentId::MemoryArray, &points);
         let big = cache.surface(&circuit(64 * 1024), ComponentId::MemoryArray, &points);
-        assert_ne!(small.metrics()[0], big.metrics()[0]);
+        assert_ne!(small.metric_at(0), big.metric_at(0));
         assert_eq!(cache.stats(), (2, 0));
     }
 

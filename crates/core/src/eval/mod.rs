@@ -32,17 +32,18 @@ pub use spec::{HierarchySpec, LevelSpec};
 use crate::groups::candidate_from_metrics;
 use crate::StudyError;
 use cache::MetricsCache;
-use nm_device::{KnobGrid, KnobPoint};
+use nm_device::{KnobGrid, KnobPoint, PrimsTable, TechnologyNode};
 use nm_geometry::{
-    CacheCircuit, CacheMetrics, ComponentId, ComponentKnobs, ComponentSurface, COMPONENT_IDS,
+    CacheCircuit, CacheMetrics, ComponentId, ComponentKnobs, ComponentMetrics, ComponentSurface,
+    COMPONENT_IDS,
 };
-use nm_opt::merge::{system_front, FrontPoint};
+use nm_opt::merge::{FrontPoint, MergeBase};
 use nm_opt::objective::Constraint;
 use nm_opt::{Candidate, Group};
 use nm_sweep::ParallelSweep;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// A constrained optimum produced by [`Evaluator::solve`].
 #[derive(Debug, Clone, PartialEq)]
@@ -70,9 +71,16 @@ pub struct EvalStats {
     pub fronts_built: usize,
     /// Front requests served from the cache.
     pub front_hits: usize,
+    /// Front merges that reused at least one cached merge layer instead
+    /// of folding every group from scratch.
+    pub fronts_incremental: usize,
     /// Computed surfaces rejected by validation (never cached).
     pub surfaces_rejected: usize,
 }
+
+/// One memoized front: the spec it answers, the merged front served to
+/// queries, and the merge base later specs extend incrementally.
+type FrontEntry = (HierarchySpec, Arc<Vec<FrontPoint>>, Arc<MergeBase>);
 
 /// The memoizing evaluation pipeline. One evaluator owns one knob grid;
 /// every query against it shares the same metric-surface and front
@@ -81,10 +89,25 @@ pub struct Evaluator {
     grid: KnobGrid,
     points: Vec<KnobPoint>,
     cache: MetricsCache,
-    fronts: RwLock<Vec<(HierarchySpec, Arc<Vec<FrontPoint>>)>>,
+    prims: RwLock<Vec<(TechnologyNode, Arc<PrimsTable>)>>,
+    fronts: RwLock<Vec<FrontEntry>>,
+    restricted_base: Mutex<Option<Arc<MergeBase>>>,
     fronts_built: AtomicUsize,
+    fronts_incremental: AtomicUsize,
     front_hits: AtomicUsize,
     surfaces_rejected: AtomicUsize,
+}
+
+/// `true` when every value in a metric buffer is finite and
+/// non-negative. Written as a branch-free accumulating scan so the
+/// healthy case (all of them, outside fault injection) vectorizes over
+/// the surface's contiguous buffers instead of branching per value.
+fn buffer_ok(values: &[f64]) -> bool {
+    let mut ok = true;
+    for &v in values {
+        ok &= v.is_finite() & (v >= 0.0);
+    }
+    ok
 }
 
 /// Checks every metric of a freshly computed surface before it may enter
@@ -93,11 +116,28 @@ pub struct Evaluator {
 /// exponential fits can overflow to `inf`/NaN when driven outside their
 /// characterized `Vth`/`Tox` region; a poisoned surface cached here would
 /// corrupt every study that later shares it.
+///
+/// The healthy path is a flat scan over the surface's
+/// structure-of-arrays buffers; only a failed scan falls back to the
+/// point-major walk that names the first offending `(point, metric)` in
+/// the same order the pre-SoA validator reported it.
 fn validate_surface(
     circuit: &CacheCircuit,
     component: ComponentId,
     surface: &ComponentSurface,
 ) -> Result<(), StudyError> {
+    let buffers: [&[f64]; 7] = [
+        surface.delays(),
+        surface.subthreshold_leakages(),
+        surface.gate_leakages(),
+        surface.junction_leakages(),
+        surface.read_energies(),
+        surface.write_energies(),
+        surface.areas(),
+    ];
+    if buffers.iter().all(|b| buffer_ok(b)) {
+        return Ok(());
+    }
     for (p, m) in surface.iter() {
         let checks: [(&'static str, f64); 7] = [
             ("delay", m.delay.0),
@@ -121,7 +161,7 @@ fn validate_surface(
             }
         }
     }
-    Ok(())
+    unreachable!("buffer scan flagged a surface the point walk found healthy")
 }
 
 /// Swaps in a NaN-delay metric record when a [`Fault::Nan`]
@@ -134,7 +174,7 @@ fn poison_if_armed(surface: ComponentSurface, job_index: usize) -> ComponentSurf
         return surface;
     }
     let points = surface.points().to_vec();
-    let mut metrics = surface.metrics().to_vec();
+    let mut metrics = surface.metrics_vec();
     if let Some(m) = metrics.first_mut() {
         m.delay = nm_device::units::Seconds(f64::NAN);
     }
@@ -149,8 +189,11 @@ impl Evaluator {
             grid,
             points,
             cache: MetricsCache::default(),
+            prims: RwLock::new(Vec::new()),
             fronts: RwLock::new(Vec::new()),
+            restricted_base: Mutex::new(None),
             fronts_built: AtomicUsize::new(0),
+            fronts_incremental: AtomicUsize::new(0),
             front_hits: AtomicUsize::new(0),
             surfaces_rejected: AtomicUsize::new(0),
         }
@@ -169,6 +212,7 @@ impl Evaluator {
             surface_hits,
             fronts_built: self.fronts_built.load(Ordering::Relaxed),
             front_hits: self.front_hits.load(Ordering::Relaxed),
+            fronts_incremental: self.fronts_incremental.load(Ordering::Relaxed),
             surfaces_rejected: self.surfaces_rejected.load(Ordering::Relaxed),
         }
     }
@@ -184,6 +228,36 @@ impl Evaluator {
         if let Err(e) = self.try_ensure_surfaces(spec) {
             panic!("surface build failed: {e}");
         }
+    }
+
+    /// The hoisted-primitives table for `tech` over this evaluator's
+    /// grid, built on first request and cached for the evaluator's
+    /// lifetime. The table depends only on `(tech, points)` — both fixed
+    /// per evaluator — so rebuilding it per `ensure_surfaces` call was
+    /// pure cold-path overhead.
+    fn prims_table(&self, tech: &TechnologyNode) -> Arc<PrimsTable> {
+        if let Some(table) = self
+            .prims
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .iter()
+            .find(|(t, _)| t == tech)
+            .map(|(_, table)| Arc::clone(table))
+        {
+            return table;
+        }
+        let table = Arc::new(PrimsTable::new(tech, &self.points));
+        let mut cached = self
+            .prims
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        // A racing builder may have won; keep the installed one so every
+        // caller shares a single allocation per node.
+        if let Some(existing) = cached.iter().find(|(t, _)| t == tech) {
+            return Arc::clone(&existing.1);
+        }
+        cached.push((tech.clone(), Arc::clone(&table)));
+        table
     }
 
     /// Fallible [`ensure_surfaces`](Self::ensure_surfaces): builds every
@@ -215,19 +289,39 @@ impl Evaluator {
         if jobs.is_empty() {
             return Ok(());
         }
+        // One hoisted-primitives table per distinct technology node,
+        // resolved up front (and cached for the evaluator's lifetime) so
+        // every component surface of the same node shares it. Jobs keep
+        // their per-(circuit, component) granularity and submission
+        // order — fault-injection indices and `WorkerPanic` indices stay
+        // stable.
+        let mut tables: Vec<(TechnologyNode, Arc<PrimsTable>)> = Vec::new();
+        for (circuit, _) in &jobs {
+            if !tables.iter().any(|(t, _)| t == circuit.tech()) {
+                tables.push((circuit.tech().clone(), self.prims_table(circuit.tech())));
+            }
+        }
+        let table_for = |circuit: &CacheCircuit| -> &PrimsTable {
+            tables
+                .iter()
+                .find(|(t, _)| t == circuit.tech())
+                .map(|(_, prims)| prims.as_ref())
+                .expect("every job's technology node has a precomputed table")
+        };
         let run = ParallelSweep::new()
             .labeled("eval-surfaces")
             .try_map(&jobs, |(circuit, id)| {
+                let prims = table_for(circuit);
                 if nm_telemetry::enabled() {
                     let t0 = std::time::Instant::now();
-                    let surface = circuit.component_surface(*id, &self.points);
+                    let surface = circuit.component_surface_with(*id, &self.points, prims);
                     nm_telemetry::observe_seconds(
                         "eval.surface_build_seconds",
                         t0.elapsed().as_secs_f64(),
                     );
                     surface
                 } else {
-                    circuit.component_surface(*id, &self.points)
+                    circuit.component_surface_with(*id, &self.points, prims)
                 }
             });
 
@@ -240,7 +334,10 @@ impl Evaluator {
                     #[cfg(not(feature = "faultinject"))]
                     let _ = job_index;
                     match validate_surface(circuit, *id, &surface) {
-                        Ok(()) => self.cache.install(circuit, *id, surface),
+                        Ok(()) => {
+                            nm_telemetry::counter_add("surface.soa.points", surface.len() as u64);
+                            self.cache.install(circuit, *id, surface);
+                        }
                         Err(e) => {
                             self.surfaces_rejected.fetch_add(1, Ordering::Relaxed);
                             nm_telemetry::counter_inc("eval.surface_rejected");
@@ -292,6 +389,12 @@ impl Evaluator {
     fn level_groups(&self, level: &LevelSpec) -> Vec<Group> {
         let surfaces: [Arc<ComponentSurface>; 4] =
             COMPONENT_IDS.map(|id| self.cache.surface(level.circuit(), id, &self.points));
+        // Materialize each surface's point-major metric column once per
+        // level, so pricing reads the exact per-point records the pre-SoA
+        // layout stored and `candidate_from_metrics` sums them in the
+        // identical order.
+        let columns: [Vec<ComponentMetrics>; 4] =
+            COMPONENT_IDS.map(|id| surfaces[id.index()].metrics_vec());
         level
             .scheme()
             .layout()
@@ -303,7 +406,7 @@ impl Evaluator {
                     .enumerate()
                     .map(|(i, &p)| {
                         candidate_from_metrics(
-                            ids.iter().map(|id| &surfaces[id.index()].metrics()[i]),
+                            ids.iter().map(|id| &columns[id.index()][i]),
                             p,
                             level.delay_weight(),
                             level.cost(),
@@ -336,14 +439,30 @@ impl Evaluator {
             nm_telemetry::counter_inc("eval.front_hit");
             return Ok(front);
         }
-        let front = Arc::new(system_front(&self.try_groups(spec)?));
+        let groups = self.try_groups(spec)?;
+        // Offer every cached spec's merge base: a spec sharing a group
+        // prefix (same circuits, weights and costs on its leading levels)
+        // re-merges only the layers past the shared prefix.
+        let bases: Vec<Arc<MergeBase>> = self
+            .fronts
+            .read()
+            .expect("front cache lock")
+            .iter()
+            .map(|(_, _, b)| Arc::clone(b))
+            .collect();
+        let (base, reused) = MergeBase::try_new_with_bases(&groups, bases.iter().map(Arc::as_ref))?;
+        if reused > 0 {
+            self.fronts_incremental.fetch_add(1, Ordering::Relaxed);
+            nm_telemetry::counter_add("front.merge.incremental", reused as u64);
+        }
+        let front = Arc::new(base.front());
         let mut fronts = self.fronts.write().expect("front cache lock");
         // Keep the first-stored front if another thread raced us there —
         // both are bit-identical, but callers may compare Arc pointers.
-        if let Some((_, existing)) = fronts.iter().find(|(s, _)| s == spec) {
+        if let Some((_, existing, _)) = fronts.iter().find(|(s, _, _)| s == spec) {
             return Ok(Arc::clone(existing));
         }
-        fronts.push((spec.clone(), Arc::clone(&front)));
+        fronts.push((spec.clone(), Arc::clone(&front), Arc::new(base)));
         self.fronts_built.fetch_add(1, Ordering::Relaxed);
         nm_telemetry::counter_inc("eval.front_built");
         Ok(front)
@@ -354,8 +473,8 @@ impl Evaluator {
             .read()
             .expect("front cache lock")
             .iter()
-            .find(|(s, _)| s == spec)
-            .map(|(_, f)| Arc::clone(f))
+            .find(|(s, _, _)| s == spec)
+            .map(|(_, f, _)| Arc::clone(f))
     }
 
     /// Reads a constrained optimum off the spec's (memoized) front, or
@@ -422,7 +541,31 @@ impl Evaluator {
         let Some(restricted) = restricted else {
             return Ok(None);
         };
-        let front = system_front(&restricted);
+        // Tuple-count sweeps grow value sets monotonically, so successive
+        // restrictions often share leading groups verbatim; keep the last
+        // restricted merge base around (plus every cached spec base) and
+        // re-merge only past the shared prefix.
+        let last = self
+            .restricted_base
+            .lock()
+            .expect("restricted base lock")
+            .clone();
+        let mut bases: Vec<Arc<MergeBase>> = last.into_iter().collect();
+        bases.extend(
+            self.fronts
+                .read()
+                .expect("front cache lock")
+                .iter()
+                .map(|(_, _, b)| Arc::clone(b)),
+        );
+        let (base, reused) =
+            MergeBase::try_new_with_bases(&restricted, bases.iter().map(Arc::as_ref))?;
+        if reused > 0 {
+            self.fronts_incremental.fetch_add(1, Ordering::Relaxed);
+            nm_telemetry::counter_add("front.merge.incremental", reused as u64);
+        }
+        let front = base.front();
+        *self.restricted_base.lock().expect("restricted base lock") = Some(Arc::new(base));
         Ok(constraint
             .select(&front)
             .map(|point| self.solution(spec, point)))
@@ -446,7 +589,7 @@ impl Evaluator {
             let p = knobs.get(id);
             self.cache
                 .peek(circuit, id)
-                .and_then(|s| s.lookup(p).copied())
+                .and_then(|s| s.lookup(p))
                 .unwrap_or_else(|| circuit.analyze_component(id, p))
         });
         CacheMetrics::from_components(per_component)
@@ -477,6 +620,7 @@ mod tests {
     use nm_device::TechnologyNode;
     use nm_geometry::CacheConfig;
     use nm_opt::constraint::best_under_deadline;
+    use nm_opt::merge::system_front;
     use nm_opt::objective::Deadline;
 
     fn circuit(bytes: u64) -> CacheCircuit {
@@ -645,7 +789,7 @@ mod tests {
         let c = circuit(16 * 1024);
         let points: Vec<KnobPoint> = KnobGrid::coarse().points().collect();
         let healthy = c.component_surface(ComponentId::Decoder, &points);
-        let mut metrics = healthy.metrics().to_vec();
+        let mut metrics = healthy.metrics_vec();
         metrics[2].delay = nm_device::units::Seconds(f64::NAN);
         let poisoned = ComponentSurface::from_parts(healthy.points().to_vec(), metrics);
         let err = validate_surface(&c, ComponentId::Decoder, &poisoned)
@@ -675,7 +819,7 @@ mod tests {
         let points: Vec<KnobPoint> = KnobGrid::coarse().points().collect();
         let healthy = c.component_surface(ComponentId::DataBus, &points);
 
-        let mut negative = healthy.metrics().to_vec();
+        let mut negative = healthy.metrics_vec();
         negative[0].leakage.gate = nm_device::units::Watts(-1e-6);
         let s = ComponentSurface::from_parts(healthy.points().to_vec(), negative);
         let err = validate_surface(&c, ComponentId::DataBus, &s).expect_err("negative leakage");
@@ -687,7 +831,7 @@ mod tests {
             }
         ));
 
-        let mut infinite = healthy.metrics().to_vec();
+        let mut infinite = healthy.metrics_vec();
         infinite[1].read_energy = nm_device::units::Joules(f64::INFINITY);
         let s = ComponentSurface::from_parts(healthy.points().to_vec(), infinite);
         let err = validate_surface(&c, ComponentId::DataBus, &s).expect_err("infinite energy");
@@ -698,6 +842,90 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn zero_level_spec_is_a_typed_error_not_a_panic() {
+        let e = eval();
+        let empty = HierarchySpec::new();
+        assert_eq!(e.try_front(&empty).unwrap_err(), StudyError::EmptySystem);
+        let err = e
+            .try_solve(&empty, &Deadline(1.0))
+            .expect_err("no groups to merge");
+        assert_eq!(err, StudyError::EmptySystem);
+        let err = e
+            .try_solve_restricted(&empty, &[0.3], &[12.0], &Deadline(1.0))
+            .expect_err("no groups to merge");
+        assert_eq!(err, StudyError::EmptySystem);
+        // Nothing was memoized for the failed spec.
+        assert_eq!(e.stats().fronts_built, 0);
+    }
+
+    #[test]
+    fn shared_prefix_specs_remerge_incrementally() {
+        let e = eval();
+        let l1 = circuit(16 * 1024);
+        let full = HierarchySpec::new()
+            .level("L1", l1.clone(), Scheme::Split, 1.0, CostKind::LeakagePower)
+            .level(
+                "L2",
+                circuit(64 * 1024),
+                Scheme::Split,
+                0.05,
+                CostKind::LeakagePower,
+            );
+        let _ = e.front(&full);
+        assert_eq!(e.stats().fronts_incremental, 0);
+        // Same L1 level, different L2: the L1 merge layers are reused and
+        // the front still matches a from-scratch merge.
+        let changed = HierarchySpec::new()
+            .level("L1", l1, Scheme::Split, 1.0, CostKind::LeakagePower)
+            .level(
+                "L2",
+                circuit(128 * 1024),
+                Scheme::Split,
+                0.05,
+                CostKind::LeakagePower,
+            );
+        let incremental = e.front(&changed);
+        assert_eq!(e.stats().fronts_incremental, 1);
+        assert_eq!(*incremental, system_front(&e.groups(&changed)));
+    }
+
+    #[test]
+    fn restricted_solves_reuse_the_last_restricted_base() {
+        let e = eval();
+        let spec = HierarchySpec::single(
+            circuit(16 * 1024),
+            Scheme::Split,
+            1.0,
+            CostKind::LeakagePower,
+        );
+        let groups = e.groups(&spec);
+        let vths: Vec<f64> = groups[0]
+            .candidates()
+            .iter()
+            .map(|c| c.knobs.vth().0)
+            .collect();
+        let toxes: Vec<f64> = groups[0]
+            .candidates()
+            .iter()
+            .map(|c| c.knobs.tox().0)
+            .collect();
+        let full_front = e.front(&spec);
+        let deadline = full_front.last().expect("non-empty").delay;
+        // The unrestricted value sets reproduce the exact solve.
+        let a = e
+            .solve_restricted(&spec, &vths, &toxes, &Deadline(deadline))
+            .expect("feasible");
+        let b = e
+            .solve_restricted(&spec, &vths, &toxes, &Deadline(deadline))
+            .expect("feasible");
+        assert_eq!(a, b);
+        let direct = e.solve(&spec, &Deadline(deadline)).expect("feasible");
+        assert_eq!(a, direct);
+        // The second identical restriction reused every layer of the first.
+        assert!(e.stats().fronts_incremental >= 1);
     }
 
     #[test]

@@ -182,6 +182,12 @@ impl TwoLevelStudy {
         self.eval.grid()
     }
 
+    /// The memoizing evaluator behind the study's sweeps (its
+    /// [`stats`](Evaluator::stats) expose surface/front build counters).
+    pub fn evaluator(&self) -> &Evaluator {
+        &self.eval
+    }
+
     /// The miss-rate table in use.
     pub fn missrates(&self) -> &MissRateTable {
         &self.missrates

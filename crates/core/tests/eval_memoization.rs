@@ -30,7 +30,7 @@ fn surfaces_agree_bitwise_with_direct_analysis_on_full_grid() {
         let surface = c.component_surface(id, &points);
         assert_eq!(surface.len(), points.len());
         for (p, cached) in surface.iter() {
-            assert_eq!(cached, &c.analyze_component(id, p), "{id} at {p}");
+            assert_eq!(cached, c.analyze_component(id, p), "{id} at {p}");
             assert_eq!(surface.lookup(p), Some(cached));
         }
     }
@@ -128,7 +128,7 @@ proptest! {
         let surface = c.component_surface(id, &points);
         let cached = surface.lookup(p).expect("every grid point is on the surface");
         let direct = c.analyze_component(id, p);
-        prop_assert_eq!(cached, &direct);
+        prop_assert_eq!(cached, direct);
         // Bit-level, not just PartialEq: delays and leakages are raw f64s.
         prop_assert_eq!(cached.delay.0.to_bits(), direct.delay.0.to_bits());
         prop_assert_eq!(

@@ -58,6 +58,7 @@ pub mod drive;
 pub mod fit;
 pub mod knobs;
 pub mod leakage;
+pub mod prims;
 pub mod scaling;
 pub mod snm;
 pub mod tech;
@@ -70,6 +71,7 @@ mod error;
 pub use error::DeviceError;
 pub use knobs::{KnobGrid, KnobPoint};
 pub use leakage::LeakageBreakdown;
+pub use prims::{HoistedPrims, PointPrims, PrimsTable, ScalarPrims};
 pub use tech::TechnologyNode;
 pub use transistor::{Mosfet, MosfetKind};
 pub use units::{

@@ -1,0 +1,476 @@
+//! Per-point primitive providers for grid-bulk evaluation.
+//!
+//! The circuit models in `nm-geometry` compose a handful of device
+//! primitives — subthreshold and gate-tunnelling currents, drive
+//! current, switching resistance, gate capacitance — dozens of times per
+//! component analysis. Every one of those primitives factors into a part
+//! that depends only on the knob pair (the `exp`/`powf` terms of the
+//! paper's Eq.1/Eq.2 fitted forms) and a cheap multiplier chain over the
+//! device geometry. When a whole knob grid is evaluated at once, the
+//! expensive factors can be hoisted out and computed once per point.
+//!
+//! [`PointPrims`] abstracts that factoring:
+//!
+//! * [`ScalarPrims`] delegates every call to the reference functions in
+//!   [`crate::leakage`] / [`crate::drive`] — the seed arithmetic,
+//!   unchanged;
+//! * [`HoistedPrims`] carries the precomputed per-point factors and
+//!   finishes each call with the **same left-to-right multiply chain**
+//!   the reference functions use, so its results are bit-identical;
+//! * [`PrimsTable`] builds a `HoistedPrims` per grid point, deduplicating
+//!   the per-axis work (`Tox`-only and `Vth`-only terms are computed once
+//!   per distinct axis value, not once per point).
+//!
+//! Bit-identity is load-bearing: the evaluation engine's golden tables
+//! pin results to the last decimal, so the hoisted path must reproduce
+//! the exact floating-point operation order of the scalar path. Each
+//! `HoistedPrims` method documents the chain it replicates.
+
+use crate::drive;
+use crate::knobs::KnobPoint;
+use crate::leakage::{self, ConductionState};
+use crate::tech::TechnologyNode;
+use crate::transistor::MosfetKind;
+use crate::units::{Amperes, Farads, Meters, Microns, Ohms};
+
+/// Device primitives evaluated at one knob point.
+///
+/// All lengths are the drawn length mandated by the point's `Tox` (the
+/// only length the cache geometry models use).
+pub trait PointPrims {
+    /// The knob point these primitives are evaluated at.
+    fn point(&self) -> KnobPoint;
+
+    /// Drawn channel length mandated by this point's `Tox`.
+    fn drawn_length(&self, tech: &TechnologyNode) -> Meters;
+
+    /// Linear cell-scale factor of this point's `Tox`.
+    fn cell_scale(&self, tech: &TechnologyNode) -> f64;
+
+    /// Subthreshold current of an off device of the given width (drawn
+    /// length), as [`leakage::subthreshold_current`].
+    fn subthreshold_current(&self, tech: &TechnologyNode, width: Microns) -> Amperes;
+
+    /// Gate-tunnelling current of a device of the given width, as
+    /// [`leakage::gate_current`].
+    fn gate_current(
+        &self,
+        tech: &TechnologyNode,
+        width: Microns,
+        state: ConductionState,
+    ) -> Amperes;
+
+    /// Saturation drive current, as [`drive::on_current`].
+    fn on_current(&self, tech: &TechnologyNode, width: Microns, kind: MosfetKind) -> Amperes;
+
+    /// Effective switching resistance, as [`drive::effective_resistance`].
+    fn effective_resistance(&self, tech: &TechnologyNode, width: Microns, kind: MosfetKind)
+        -> Ohms;
+
+    /// Total gate capacitance, as [`drive::gate_capacitance`].
+    fn gate_capacitance(&self, tech: &TechnologyNode, width: Microns) -> Farads;
+}
+
+/// The reference provider: every call goes straight to the scalar device
+/// functions with `length = tech.drawn_length(tox)`. Zero precomputation,
+/// bit-identical to calling [`crate::leakage`] / [`crate::drive`] by hand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalarPrims(KnobPoint);
+
+impl ScalarPrims {
+    /// Wraps a knob point.
+    pub fn new(knobs: KnobPoint) -> Self {
+        ScalarPrims(knobs)
+    }
+}
+
+impl PointPrims for ScalarPrims {
+    fn point(&self) -> KnobPoint {
+        self.0
+    }
+
+    fn drawn_length(&self, tech: &TechnologyNode) -> Meters {
+        tech.drawn_length(self.0.tox())
+    }
+
+    fn cell_scale(&self, tech: &TechnologyNode) -> f64 {
+        tech.cell_scale(self.0.tox())
+    }
+
+    fn subthreshold_current(&self, tech: &TechnologyNode, width: Microns) -> Amperes {
+        leakage::subthreshold_current(tech, self.0, width, self.drawn_length(tech))
+    }
+
+    fn gate_current(
+        &self,
+        tech: &TechnologyNode,
+        width: Microns,
+        state: ConductionState,
+    ) -> Amperes {
+        leakage::gate_current(tech, self.0, width, self.drawn_length(tech), state)
+    }
+
+    fn on_current(&self, tech: &TechnologyNode, width: Microns, kind: MosfetKind) -> Amperes {
+        drive::on_current(tech, self.0, width, self.drawn_length(tech), kind)
+    }
+
+    fn effective_resistance(
+        &self,
+        tech: &TechnologyNode,
+        width: Microns,
+        kind: MosfetKind,
+    ) -> Ohms {
+        drive::effective_resistance(tech, self.0, width, self.drawn_length(tech), kind)
+    }
+
+    fn gate_capacitance(&self, tech: &TechnologyNode, width: Microns) -> Farads {
+        drive::gate_capacitance(tech, self.0, width, self.drawn_length(tech))
+    }
+}
+
+/// Precomputed per-point factors of every device primitive.
+///
+/// Construction pays one `exp` (the joint subthreshold exponent), one
+/// `powf` (the alpha-power overdrive) and one more `exp` (the
+/// gate-tunnelling density) per point; every [`PointPrims`] call is then
+/// a short multiply chain, width- and component-independent work having
+/// been hoisted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HoistedPrims {
+    knobs: KnobPoint,
+    length: Meters,
+    scale: f64,
+    cox: f64,
+    vt: f64,
+    /// `μ·Cox` — leading pair of the subthreshold chain.
+    sub_k: f64,
+    /// `e^((η·Vdd − Vth)/(n·vT))`.
+    sub_exp: f64,
+    /// `1 − e^(−Vdd/vT)`.
+    drain_term: f64,
+    /// `J0·Vox²·(Tox₀/Tox)²·e^(−Bg·(Tox − Tox₀))`.
+    gate_density: f64,
+    gate_off: f64,
+    k_drive: f64,
+    pmos_ratio: f64,
+    /// `(Vdd − Vth)^α`.
+    drive_pow: f64,
+    /// `1/(1 − λ·Vth/Vdd)`.
+    near_vth: f64,
+    /// `0.7·Vdd` — numerator of the average-current resistance.
+    r_num: f64,
+    cfringe: f64,
+}
+
+/// `Tox`-only derived quantities, computed once per distinct axis value.
+#[derive(Debug, Clone, Copy)]
+struct ToxDerived {
+    cox: f64,
+    length: Meters,
+    scale: f64,
+    n: f64,
+    eta: f64,
+    gate_density: f64,
+}
+
+impl ToxDerived {
+    fn new(tech: &TechnologyNode, tox: crate::units::Angstroms) -> Self {
+        let length = tech.drawn_length(tox);
+        let (j0, bg) = tech.gate_tunnelling();
+        let tox0 = tech.tox_min().0;
+        let vox = tech.vdd().0;
+        // Replicates the density expression of `leakage::gate_current`.
+        let gate_density =
+            j0 * (vox * vox) * (tox0 / tox.0) * (tox0 / tox.0) * (-(bg) * (tox.0 - tox0)).exp();
+        ToxDerived {
+            cox: tech.cox(tox),
+            length,
+            scale: tech.cell_scale(tox),
+            n: tech.subthreshold_n(tox),
+            eta: tech.dibl(length),
+            gate_density,
+        }
+    }
+}
+
+/// `Vth`-only derived quantities, computed once per distinct axis value.
+#[derive(Debug, Clone, Copy)]
+struct VthDerived {
+    drive_pow: f64,
+    near_vth: f64,
+}
+
+impl VthDerived {
+    fn new(tech: &TechnologyNode, vth: crate::units::Volts) -> Self {
+        let overdrive = tech.vdd().0 - vth.0;
+        debug_assert!(overdrive > 0.0, "legal knobs keep Vdd − Vth positive");
+        VthDerived {
+            drive_pow: overdrive.powf(tech.alpha()),
+            near_vth: 1.0 / (1.0 - tech.near_vth_slowdown() * vth.0 / tech.vdd().0),
+        }
+    }
+}
+
+impl HoistedPrims {
+    /// Precomputes the factors for one knob point.
+    pub fn new(tech: &TechnologyNode, knobs: KnobPoint) -> Self {
+        Self::from_axes(
+            tech,
+            knobs,
+            &ToxDerived::new(tech, knobs.tox()),
+            &VthDerived::new(tech, knobs.vth()),
+        )
+    }
+
+    fn from_axes(tech: &TechnologyNode, knobs: KnobPoint, t: &ToxDerived, v: &VthDerived) -> Self {
+        let vt = tech.thermal_voltage().0;
+        let vdd = tech.vdd().0;
+        // Replicates the exponent of `leakage::subthreshold_current`.
+        let exponent = (t.eta * vdd - knobs.vth().0) / (t.n * vt);
+        HoistedPrims {
+            knobs,
+            length: t.length,
+            scale: t.scale,
+            cox: t.cox,
+            vt,
+            sub_k: tech.mu_eff() * t.cox,
+            sub_exp: exponent.exp(),
+            drain_term: 1.0 - (-vdd / vt).exp(),
+            gate_density: t.gate_density,
+            gate_off: tech.gate_off_factor(),
+            k_drive: tech.k_drive(),
+            pmos_ratio: tech.pmos_drive_ratio(),
+            drive_pow: v.drive_pow,
+            near_vth: v.near_vth,
+            r_num: 0.7 * vdd,
+            cfringe: tech.cfringe_per_width(),
+        }
+    }
+}
+
+impl PointPrims for HoistedPrims {
+    fn point(&self) -> KnobPoint {
+        self.knobs
+    }
+
+    fn drawn_length(&self, _tech: &TechnologyNode) -> Meters {
+        self.length
+    }
+
+    fn cell_scale(&self, _tech: &TechnologyNode) -> f64 {
+        self.scale
+    }
+
+    // `μ·Cox · (W/L) · vT · vT · e^(…) · (1 − e^(−Vdd/vT))` — the exact
+    // left-to-right chain of `leakage::subthreshold_current` with the
+    // first pair and both exponentials precomputed.
+    fn subthreshold_current(&self, _tech: &TechnologyNode, width: Microns) -> Amperes {
+        let w_over_l = width.meters().0 / self.length.0;
+        Amperes(self.sub_k * w_over_l * self.vt * self.vt * self.sub_exp * self.drain_term)
+    }
+
+    // `density · W·L · state_factor`, as `leakage::gate_current`.
+    fn gate_current(
+        &self,
+        _tech: &TechnologyNode,
+        width: Microns,
+        state: ConductionState,
+    ) -> Amperes {
+        let area = width.meters().0 * self.length.0;
+        let state_factor = match state {
+            ConductionState::On => 1.0,
+            ConductionState::Off => self.gate_off,
+        };
+        Amperes(self.gate_density * area * state_factor)
+    }
+
+    // `k · kind_factor · (W/L) · Cox · (Vdd − Vth)^α`, as
+    // `drive::on_current`.
+    fn on_current(&self, _tech: &TechnologyNode, width: Microns, kind: MosfetKind) -> Amperes {
+        let w_over_l = width.meters().0 / self.length.0;
+        let kind_factor = match kind {
+            MosfetKind::Nmos => 1.0,
+            MosfetKind::Pmos => self.pmos_ratio,
+        };
+        Amperes(self.k_drive * kind_factor * w_over_l * self.cox * self.drive_pow)
+    }
+
+    // `(0.7·Vdd)/Ion · 1/(1 − λ·Vth/Vdd)`, as
+    // `drive::effective_resistance`.
+    fn effective_resistance(
+        &self,
+        tech: &TechnologyNode,
+        width: Microns,
+        kind: MosfetKind,
+    ) -> Ohms {
+        let ion = self.on_current(tech, width, kind);
+        let base = self.r_num / ion.0;
+        Ohms(base * self.near_vth)
+    }
+
+    // `Cox·W·L + cfringe·W`, as `drive::gate_capacitance`.
+    fn gate_capacitance(&self, _tech: &TechnologyNode, width: Microns) -> Farads {
+        let w = width.meters().0;
+        let plate = self.cox * w * self.length.0;
+        let fringe = self.cfringe * w;
+        Farads(plate + fringe)
+    }
+}
+
+/// A [`HoistedPrims`] per knob point, built with per-axis deduplication:
+/// the `Tox`-only and `Vth`-only derived quantities are computed once per
+/// distinct axis value (matched by bit pattern), so building a table over
+/// an `nV × nT` grid costs `nV + nT` axis evaluations plus one joint
+/// subthreshold `exp` per point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrimsTable {
+    items: Vec<HoistedPrims>,
+}
+
+impl PrimsTable {
+    /// Builds the table for a point set under one technology node.
+    pub fn new(tech: &TechnologyNode, points: &[KnobPoint]) -> Self {
+        let mut tox_cache: Vec<(u64, ToxDerived)> = Vec::new();
+        let mut vth_cache: Vec<(u64, VthDerived)> = Vec::new();
+        let items = points
+            .iter()
+            .map(|&p| {
+                let tox_bits = p.tox().0.to_bits();
+                let t = match tox_cache.iter().find(|(b, _)| *b == tox_bits) {
+                    Some((_, t)) => *t,
+                    None => {
+                        let t = ToxDerived::new(tech, p.tox());
+                        tox_cache.push((tox_bits, t));
+                        t
+                    }
+                };
+                let vth_bits = p.vth().0.to_bits();
+                let v = match vth_cache.iter().find(|(b, _)| *b == vth_bits) {
+                    Some((_, v)) => *v,
+                    None => {
+                        let v = VthDerived::new(tech, p.vth());
+                        vth_cache.push((vth_bits, v));
+                        v
+                    }
+                };
+                HoistedPrims::from_axes(tech, p, &t, &v)
+            })
+            .collect();
+        PrimsTable { items }
+    }
+
+    /// The per-point entries, aligned with the input point order.
+    pub fn items(&self) -> &[HoistedPrims] {
+        &self.items
+    }
+
+    /// Number of points in the table.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when the table holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knobs::KnobGrid;
+    use crate::units::{Angstroms, Volts};
+
+    fn tech() -> TechnologyNode {
+        TechnologyNode::bptm65()
+    }
+
+    fn k(vth: f64, tox: f64) -> KnobPoint {
+        KnobPoint::new(Volts(vth), Angstroms(tox)).unwrap()
+    }
+
+    /// Every primitive of the hoisted provider must agree bit-for-bit
+    /// with the scalar reference over the full paper grid.
+    #[test]
+    fn hoisted_matches_scalar_bit_for_bit() {
+        let t = tech();
+        let points: Vec<KnobPoint> = KnobGrid::paper().points().collect();
+        let table = PrimsTable::new(&t, &points);
+        assert_eq!(table.len(), points.len());
+        for (p, h) in points.iter().zip(table.items()) {
+            let s = ScalarPrims::new(*p);
+            assert_eq!(h.point(), s.point());
+            assert_eq!(
+                h.drawn_length(&t).0.to_bits(),
+                s.drawn_length(&t).0.to_bits()
+            );
+            assert_eq!(h.cell_scale(&t).to_bits(), s.cell_scale(&t).to_bits());
+            for width in [Microns(0.15), Microns(0.5), Microns(4.0)] {
+                assert_eq!(
+                    h.subthreshold_current(&t, width).0.to_bits(),
+                    s.subthreshold_current(&t, width).0.to_bits(),
+                    "sub at {p}"
+                );
+                for state in [ConductionState::On, ConductionState::Off] {
+                    assert_eq!(
+                        h.gate_current(&t, width, state).0.to_bits(),
+                        s.gate_current(&t, width, state).0.to_bits(),
+                        "gate at {p}"
+                    );
+                }
+                for kind in [MosfetKind::Nmos, MosfetKind::Pmos] {
+                    assert_eq!(
+                        h.on_current(&t, width, kind).0.to_bits(),
+                        s.on_current(&t, width, kind).0.to_bits(),
+                        "ion at {p}"
+                    );
+                    assert_eq!(
+                        h.effective_resistance(&t, width, kind).0.to_bits(),
+                        s.effective_resistance(&t, width, kind).0.to_bits(),
+                        "reff at {p}"
+                    );
+                }
+                assert_eq!(
+                    h.gate_capacitance(&t, width).0.to_bits(),
+                    s.gate_capacitance(&t, width).0.to_bits(),
+                    "cg at {p}"
+                );
+            }
+        }
+    }
+
+    /// The hoisted factors must also be identical under modified nodes
+    /// (the temperature and sensitivity studies re-derive the node).
+    #[test]
+    fn hoisted_tracks_modified_nodes() {
+        let hot = tech().at_temperature(crate::units::Kelvin::from_celsius(110.0));
+        let p = k(0.35, 11.5);
+        let h = HoistedPrims::new(&hot, p);
+        let s = ScalarPrims::new(p);
+        assert_eq!(
+            h.subthreshold_current(&hot, Microns(1.0)).0.to_bits(),
+            s.subthreshold_current(&hot, Microns(1.0)).0.to_bits()
+        );
+        assert_eq!(
+            h.effective_resistance(&hot, Microns(1.0), MosfetKind::Pmos)
+                .0
+                .to_bits(),
+            s.effective_resistance(&hot, Microns(1.0), MosfetKind::Pmos)
+                .0
+                .to_bits()
+        );
+    }
+
+    /// Axis dedup must not change results relative to direct
+    /// per-point construction.
+    #[test]
+    fn table_dedup_equals_per_point_construction() {
+        let t = tech();
+        let points = [k(0.2, 10.0), k(0.2, 14.0), k(0.5, 10.0), k(0.2, 10.0)];
+        let table = PrimsTable::new(&t, &points);
+        assert!(!table.is_empty());
+        for (p, h) in points.iter().zip(table.items()) {
+            assert_eq!(*h, HoistedPrims::new(&t, *p));
+        }
+    }
+}

@@ -11,7 +11,7 @@ use crate::config::Organization;
 use crate::logic::{Gate, Wire, ELMORE};
 use crate::sram::SramCell;
 use nm_device::units::{Farads, Joules, Meters, Microns, Ohms, Seconds, SquareMicrons};
-use nm_device::{KnobPoint, TechnologyNode};
+use nm_device::{KnobPoint, PointPrims, ScalarPrims, TechnologyNode};
 
 /// Bitline differential swing required by the sense amps, as a fraction of
 /// the supply.
@@ -49,35 +49,47 @@ pub fn analyze(
     cell: &SramCell,
     knobs: KnobPoint,
 ) -> ComponentMetrics {
+    analyze_with(tech, org, cell, &ScalarPrims::new(knobs))
+}
+
+/// [`analyze`] through a primitive provider (the grid-bulk path).
+pub fn analyze_with<P: PointPrims>(
+    tech: &TechnologyNode,
+    org: &Organization,
+    cell: &SramCell,
+    prims: &P,
+) -> ComponentMetrics {
     let vdd = tech.vdd();
+    let knobs = prims.point();
 
     // --- Wordline propagation ------------------------------------------
-    let wl_length = Meters(cell.scaled_pitch_x(tech, knobs).meters().0 * org.cols as f64);
+    let wl_length = Meters(cell.scaled_pitch_x_with(tech, prims).meters().0 * org.cols as f64);
     let wl_wire = Wire::new(tech, wl_length);
-    let wl_gate_load = Farads(cell.wordline_load(tech, knobs).0 * org.cols as f64);
+    let wl_gate_load = Farads(cell.wordline_load_with(tech, prims).0 * org.cols as f64);
     let t_wordline = wl_wire.elmore_delay(Ohms(BOUNDARY_DRIVER_OHMS), wl_gate_load);
 
     // --- Bitline development --------------------------------------------
-    let bl_wire_len = Meters(cell.scaled_pitch_y(tech, knobs).meters().0 * org.rows as f64);
+    let bl_wire_len = Meters(cell.scaled_pitch_y_with(tech, prims).meters().0 * org.rows as f64);
     let bl_wire = Wire::new(tech, bl_wire_len);
     let c_bitline =
-        Farads(cell.bitline_load(tech, knobs).0 * org.rows as f64 + bl_wire.capacitance.0);
-    let i_read = cell.read_current(tech, knobs);
+        Farads(cell.bitline_load_with(tech, prims).0 * org.rows as f64 + bl_wire.capacitance.0);
+    let i_read = cell.read_current_with(tech, prims);
     let swing = vdd.0 * SENSE_SWING;
     let t_bitline = Seconds(c_bitline.0 * swing / i_read.0)
         + Seconds(ELMORE * bl_wire.resistance.0 * 0.5 * c_bitline.0);
 
     // --- Sense amplification ---------------------------------------------
     let sense_gate = Gate::inverter(SENSE_AMP_WN, knobs);
-    let fo4_load = sense_gate.input_capacitance(tech) * 4.0;
-    let t_sense = Seconds(sense_gate.delay(tech, fo4_load).0 * f64::from(SENSE_STAGES));
+    let fo4_load = sense_gate.input_capacitance_with(tech, prims) * 4.0;
+    let t_sense = Seconds(sense_gate.delay_with(tech, prims, fo4_load).0 * f64::from(SENSE_STAGES));
 
     let delay = t_wordline + t_bitline + t_sense;
 
     // --- Leakage -----------------------------------------------------------
     let cells = org.total_cells() as f64;
-    let cell_leak = cell.leakage(tech, knobs) * cells;
-    let sa_leak = sense_gate.leakage(tech) * (SENSE_AMP_INVERTER_EQ * org.sense_amps as f64);
+    let cell_leak = cell.leakage_with(tech, prims) * cells;
+    let sa_leak =
+        sense_gate.leakage_with(tech, prims) * (SENSE_AMP_INVERTER_EQ * org.sense_amps as f64);
     let leakage = cell_leak + sa_leak;
 
     // --- Dynamic read energy -----------------------------------------------
@@ -87,7 +99,7 @@ pub fn analyze(
         Joules((wl_wire.capacitance.0 + wl_gate_load.0) * vdd.0 * vdd.0) * ACTIVE_SUBARRAYS;
     let e_bitline = Joules(c_bitline.0 * vdd.0 * swing * org.cols as f64) * ACTIVE_SUBARRAYS;
     let active_sense = org.cols as f64 * ACTIVE_SUBARRAYS / Organization::COLUMN_MUX as f64;
-    let e_sense = Joules(sense_gate.switching_energy(tech, fo4_load).0 * active_sense);
+    let e_sense = Joules(sense_gate.switching_energy_with(tech, prims, fo4_load).0 * active_sense);
     let read_energy = e_wordline + e_bitline + e_sense;
     // Writes drive the selected bitline pairs full rail (no sensing).
     let e_bitline_write = Joules(c_bitline.0 * vdd.0 * vdd.0 * org.cols as f64) * ACTIVE_SUBARRAYS;
@@ -95,7 +107,7 @@ pub fn analyze(
 
     // --- Census --------------------------------------------------------------
     let transistors = org.total_cells() * 6 + org.sense_amps * SENSE_AMP_TRANSISTORS;
-    let area = SquareMicrons(cell.area(tech, knobs).0 * cells * AREA_OVERHEAD);
+    let area = SquareMicrons(cell.area_with(tech, prims).0 * cells * AREA_OVERHEAD);
 
     ComponentMetrics {
         delay,

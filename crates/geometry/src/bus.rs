@@ -8,10 +8,10 @@
 
 use crate::cache::ComponentMetrics;
 use crate::config::Organization;
-use crate::logic::{repeated_wire, Gate, Wire};
+use crate::logic::{repeated_wire_with, Gate, Wire};
 use crate::sram::SramCell;
 use nm_device::units::{Joules, Meters, Microns, SquareMicrons};
-use nm_device::{KnobPoint, TechnologyNode};
+use nm_device::{KnobPoint, PointPrims, ScalarPrims, TechnologyNode};
 
 /// NMOS width of bus repeater drivers.
 const REPEATER_WN: Microns = Microns(4.0);
@@ -42,25 +42,27 @@ pub fn bus_length(tech: &TechnologyNode, org: &Organization, cell: &SramCell) ->
     Meters(side_um * 1e-6 * (ROUTING_FACTOR + HTREE_PER_LEVEL * htree_levels))
 }
 
-fn analyze_bus(
+fn analyze_bus<P: PointPrims>(
     tech: &TechnologyNode,
     org: &Organization,
     cell: &SramCell,
-    knobs: KnobPoint,
+    prims: &P,
     bits: u64,
     length_factor: f64,
 ) -> ComponentMetrics {
     let length = Meters(bus_length(tech, org, cell).0 * length_factor);
-    let (delay, stages) = repeated_wire(tech, knobs, REPEATER_WN, length);
+    let (delay, stages) = repeated_wire_with(tech, prims, REPEATER_WN, length);
 
-    let driver = Gate::inverter(REPEATER_WN, knobs);
+    let driver = Gate::inverter(REPEATER_WN, prims.point());
     let drivers = stages * bits;
-    let leakage = driver.leakage(tech) * drivers as f64;
+    let leakage = driver.leakage_with(tech, prims) * drivers as f64;
 
     let wire = Wire::new(tech, length);
     let vdd = tech.vdd().0;
-    let e_per_bit =
-        0.5 * (wire.capacitance.0 + stages as f64 * driver.input_capacitance(tech).0) * vdd * vdd;
+    let e_per_bit = 0.5
+        * (wire.capacitance.0 + stages as f64 * driver.input_capacitance_with(tech, prims).0)
+        * vdd
+        * vdd;
     let read_energy = Joules(e_per_bit * bits as f64 * ACTIVITY);
 
     let transistors = drivers * 2;
@@ -84,11 +86,21 @@ pub fn analyze_address(
     cell: &SramCell,
     knobs: KnobPoint,
 ) -> ComponentMetrics {
+    analyze_address_with(tech, org, cell, &ScalarPrims::new(knobs))
+}
+
+/// [`analyze_address`] through a primitive provider.
+pub fn analyze_address_with<P: PointPrims>(
+    tech: &TechnologyNode,
+    org: &Organization,
+    cell: &SramCell,
+    prims: &P,
+) -> ComponentMetrics {
     analyze_bus(
         tech,
         org,
         cell,
-        knobs,
+        prims,
         u64::from(crate::config::ADDRESS_BITS),
         1.0,
     )
@@ -102,11 +114,21 @@ pub fn analyze_data(
     cell: &SramCell,
     knobs: KnobPoint,
 ) -> ComponentMetrics {
+    analyze_data_with(tech, org, cell, &ScalarPrims::new(knobs))
+}
+
+/// [`analyze_data`] through a primitive provider.
+pub fn analyze_data_with<P: PointPrims>(
+    tech: &TechnologyNode,
+    org: &Organization,
+    cell: &SramCell,
+    prims: &P,
+) -> ComponentMetrics {
     analyze_bus(
         tech,
         org,
         cell,
-        knobs,
+        prims,
         org.data_out_bits,
         DATA_LENGTH_FACTOR,
     )

@@ -20,8 +20,8 @@ use crate::config::CacheConfig;
 use crate::decoder;
 use crate::sram::SramCell;
 use nm_device::leakage::LeakageBreakdown;
-use nm_device::units::{Joules, Seconds, SquareMicrons};
-use nm_device::{KnobPoint, TechnologyNode};
+use nm_device::units::{Joules, Seconds, SquareMicrons, Watts};
+use nm_device::{KnobPoint, PointPrims, PrimsTable, TechnologyNode};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -218,6 +218,27 @@ impl CacheCircuit {
         }
     }
 
+    /// [`analyze_component`](Self::analyze_component) through a primitive
+    /// provider — the bulk path used by [`component_surface_with`]
+    /// (hoisted per-point device primitives shared across components).
+    ///
+    /// [`component_surface_with`]: Self::component_surface_with
+    pub fn analyze_component_with<P: PointPrims>(
+        &self,
+        id: ComponentId,
+        prims: &P,
+    ) -> ComponentMetrics {
+        let org = self.org;
+        match id {
+            ComponentId::MemoryArray => array::analyze_with(&self.tech, &org, &self.cell, prims),
+            ComponentId::Decoder => decoder::analyze_with(&self.tech, &org, &self.cell, prims),
+            ComponentId::AddressBus => {
+                bus::analyze_address_with(&self.tech, &org, &self.cell, prims)
+            }
+            ComponentId::DataBus => bus::analyze_data_with(&self.tech, &org, &self.cell, prims),
+        }
+    }
+
     /// Analyses the whole cache under a component-knob assignment.
     pub fn analyze(&self, knobs: &ComponentKnobs) -> CacheMetrics {
         let mut per_component = [ComponentMetrics::ZERO; 4];
@@ -236,11 +257,35 @@ impl CacheCircuit {
     /// of scattered [`analyze_component`](Self::analyze_component) calls,
     /// and the resulting surface supports O(1) point lookup.
     pub fn component_surface(&self, id: ComponentId, points: &[KnobPoint]) -> ComponentSurface {
+        let prims = PrimsTable::new(&self.tech, points);
+        self.component_surface_with(id, points, &prims)
+    }
+
+    /// [`component_surface`](Self::component_surface) over a prebuilt
+    /// [`PrimsTable`], so callers sweeping several components of the same
+    /// circuit over the same point set pay the per-point device-primitive
+    /// hoisting once instead of once per component.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `prims` was not built over exactly `points`.
+    pub fn component_surface_with(
+        &self,
+        id: ComponentId,
+        points: &[KnobPoint],
+        prims: &PrimsTable,
+    ) -> ComponentSurface {
+        assert_eq!(
+            points.len(),
+            prims.len(),
+            "prims table must be built over the surface's point set"
+        );
         ComponentSurface::new(
             points.to_vec(),
-            points
+            prims
+                .items()
                 .iter()
-                .map(|&p| self.analyze_component(id, p))
+                .map(|h| self.analyze_component_with(id, h))
                 .collect(),
         )
     }
@@ -265,31 +310,144 @@ impl CacheCircuit {
 /// the dense, memoizable form of repeated
 /// [`CacheCircuit::analyze_component`] calls.
 ///
-/// Metrics are stored contiguously in input-point order; a bit-exact
-/// point index supports O(1) [`lookup`](Self::lookup) by knob pair.
+/// Stored structure-of-arrays: one contiguous buffer per scalar metric,
+/// in input-point order, so bulk consumers (surface validation, candidate
+/// assembly) scan flat `f64` slices instead of striding through an
+/// array-of-structs. Point lookup is bit-exact (signed zeros normalized):
+/// O(1) arithmetic when the point set is a dense tox-major grid, hash
+/// lookup otherwise.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ComponentSurface {
     points: Vec<KnobPoint>,
-    metrics: Vec<ComponentMetrics>,
-    index: std::collections::HashMap<(u64, u64), usize>,
+    delay: Vec<f64>,
+    sub_leakage: Vec<f64>,
+    gate_leakage: Vec<f64>,
+    junction_leakage: Vec<f64>,
+    read_energy: Vec<f64>,
+    write_energy: Vec<f64>,
+    area: Vec<f64>,
+    transistors: Vec<u64>,
+    index: PointIndex,
+}
+
+/// Normalizes a knob coordinate for bit-exact keying: `-0.0` and `0.0`
+/// compare equal as knob values, so they must map to the same key
+/// (`x + 0.0` canonicalizes a signed zero to `+0.0` and is the identity
+/// on every other value, NaN payloads included).
+fn zero_normalized_bits(x: f64) -> u64 {
+    (x + 0.0).to_bits()
 }
 
 fn point_key(p: KnobPoint) -> (u64, u64) {
-    (p.vth().0.to_bits(), p.tox().0.to_bits())
+    (
+        zero_normalized_bits(p.vth().0),
+        zero_normalized_bits(p.tox().0),
+    )
+}
+
+/// Bit-exact point→row index of a [`ComponentSurface`].
+#[derive(Debug, Clone, PartialEq)]
+enum PointIndex {
+    /// The point set is a dense tox-major grid: row `t * vth.len() + v`
+    /// holds `(vth[v], tox[t])`. Lookup is two short axis scans, no
+    /// hashing, and building it is allocation-light — the layout
+    /// [`nm_device::KnobGrid::points`] produces.
+    Grid { vth: Vec<u64>, tox: Vec<u64> },
+    /// Arbitrary point sets fall back to a hash index.
+    Map(std::collections::HashMap<(u64, u64), usize>),
+}
+
+impl PointIndex {
+    fn build(points: &[KnobPoint]) -> Self {
+        Self::try_grid(points).unwrap_or_else(|| {
+            PointIndex::Map(
+                points
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &p)| (point_key(p), i))
+                    .collect(),
+            )
+        })
+    }
+
+    /// Recognizes the dense tox-major layout: the vth axis repeats
+    /// identically inside each constant-tox block and both axes are
+    /// duplicate-free.
+    fn try_grid(points: &[KnobPoint]) -> Option<Self> {
+        let first_tox = zero_normalized_bits(points.first()?.tox().0);
+        let nv = points
+            .iter()
+            .position(|p| zero_normalized_bits(p.tox().0) != first_tox)
+            .unwrap_or(points.len());
+        if !points.len().is_multiple_of(nv) {
+            return None;
+        }
+        let nt = points.len() / nv;
+        let vth: Vec<u64> = points[..nv]
+            .iter()
+            .map(|p| zero_normalized_bits(p.vth().0))
+            .collect();
+        let mut tox = Vec::with_capacity(nt);
+        for t in 0..nt {
+            let block = &points[t * nv..(t + 1) * nv];
+            let block_tox = zero_normalized_bits(block[0].tox().0);
+            let regular = block.iter().zip(&vth).all(|(p, &v)| {
+                zero_normalized_bits(p.tox().0) == block_tox && zero_normalized_bits(p.vth().0) == v
+            });
+            if !regular || tox.contains(&block_tox) {
+                return None;
+            }
+            tox.push(block_tox);
+        }
+        let mut seen_v = vth.clone();
+        seen_v.sort_unstable();
+        seen_v.dedup();
+        if seen_v.len() != vth.len() {
+            return None;
+        }
+        Some(PointIndex::Grid { vth, tox })
+    }
+
+    fn lookup(&self, p: KnobPoint) -> Option<usize> {
+        match self {
+            PointIndex::Grid { vth, tox } => {
+                let (vk, tk) = point_key(p);
+                let v = vth.iter().position(|&b| b == vk)?;
+                let t = tox.iter().position(|&b| b == tk)?;
+                Some(t * vth.len() + v)
+            }
+            PointIndex::Map(map) => map.get(&point_key(p)).copied(),
+        }
+    }
 }
 
 impl ComponentSurface {
     fn new(points: Vec<KnobPoint>, metrics: Vec<ComponentMetrics>) -> Self {
-        let index = points
-            .iter()
-            .enumerate()
-            .map(|(i, &p)| (point_key(p), i))
-            .collect();
-        ComponentSurface {
+        let index = PointIndex::build(&points);
+        let n = metrics.len();
+        let mut s = ComponentSurface {
             points,
-            metrics,
+            delay: Vec::with_capacity(n),
+            sub_leakage: Vec::with_capacity(n),
+            gate_leakage: Vec::with_capacity(n),
+            junction_leakage: Vec::with_capacity(n),
+            read_energy: Vec::with_capacity(n),
+            write_energy: Vec::with_capacity(n),
+            area: Vec::with_capacity(n),
+            transistors: Vec::with_capacity(n),
             index,
+        };
+        for m in metrics {
+            s.delay.push(m.delay.0);
+            s.sub_leakage.push(m.leakage.subthreshold.0);
+            s.gate_leakage.push(m.leakage.gate.0);
+            s.junction_leakage.push(m.leakage.junction.0);
+            s.read_energy.push(m.read_energy.0);
+            s.write_energy.push(m.write_energy.0);
+            s.area.push(m.area.0);
+            s.transistors.push(m.transistors);
         }
+        s
     }
 
     /// Assembles a surface from aligned point and metric vectors.
@@ -316,9 +474,71 @@ impl ComponentSurface {
         &self.points
     }
 
-    /// The metrics aligned with [`points`](Self::points).
-    pub fn metrics(&self) -> &[ComponentMetrics] {
-        &self.metrics
+    /// Reassembles the metrics record at row `i` (input-point order).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of bounds.
+    pub fn metric_at(&self, i: usize) -> ComponentMetrics {
+        ComponentMetrics {
+            delay: Seconds(self.delay[i]),
+            leakage: LeakageBreakdown {
+                subthreshold: Watts(self.sub_leakage[i]),
+                gate: Watts(self.gate_leakage[i]),
+                junction: Watts(self.junction_leakage[i]),
+            },
+            read_energy: Joules(self.read_energy[i]),
+            write_energy: Joules(self.write_energy[i]),
+            transistors: self.transistors[i],
+            area: SquareMicrons(self.area[i]),
+        }
+    }
+
+    /// Materializes the full metrics vector aligned with
+    /// [`points`](Self::points) (the array-of-structs view, for callers
+    /// that need owned records — e.g. surface mutation harnesses).
+    pub fn metrics_vec(&self) -> Vec<ComponentMetrics> {
+        (0..self.len()).map(|i| self.metric_at(i)).collect()
+    }
+
+    /// Per-point delays, seconds, in input order.
+    pub fn delays(&self) -> &[f64] {
+        &self.delay
+    }
+
+    /// Per-point subthreshold leakage, watts, in input order.
+    pub fn subthreshold_leakages(&self) -> &[f64] {
+        &self.sub_leakage
+    }
+
+    /// Per-point gate-tunnelling leakage, watts, in input order.
+    pub fn gate_leakages(&self) -> &[f64] {
+        &self.gate_leakage
+    }
+
+    /// Per-point junction leakage, watts, in input order.
+    pub fn junction_leakages(&self) -> &[f64] {
+        &self.junction_leakage
+    }
+
+    /// Per-point read energies, joules, in input order.
+    pub fn read_energies(&self) -> &[f64] {
+        &self.read_energy
+    }
+
+    /// Per-point write energies, joules, in input order.
+    pub fn write_energies(&self) -> &[f64] {
+        &self.write_energy
+    }
+
+    /// Per-point silicon areas, µm², in input order.
+    pub fn areas(&self) -> &[f64] {
+        &self.area
+    }
+
+    /// Per-point transistor counts, in input order.
+    pub fn transistor_counts(&self) -> &[u64] {
+        &self.transistors
     }
 
     /// Number of evaluated points.
@@ -331,15 +551,19 @@ impl ComponentSurface {
         self.points.is_empty()
     }
 
-    /// The metrics at a knob pair, matched bit-exactly, or `None` when
-    /// the pair is not on the surface.
-    pub fn lookup(&self, p: KnobPoint) -> Option<&ComponentMetrics> {
-        self.index.get(&point_key(p)).map(|&i| &self.metrics[i])
+    /// The metrics at a knob pair, matched bit-exactly (signed zeros
+    /// normalized), or `None` when the pair is not on the surface.
+    pub fn lookup(&self, p: KnobPoint) -> Option<ComponentMetrics> {
+        self.index.lookup(p).map(|i| self.metric_at(i))
     }
 
     /// Iterates `(point, metrics)` pairs in input order.
-    pub fn iter(&self) -> impl Iterator<Item = (KnobPoint, &ComponentMetrics)> + '_ {
-        self.points.iter().copied().zip(self.metrics.iter())
+    pub fn iter(&self) -> impl Iterator<Item = (KnobPoint, ComponentMetrics)> + '_ {
+        self.points
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(i, p)| (p, self.metric_at(i)))
     }
 }
 
@@ -459,12 +683,78 @@ mod tests {
         assert!(!surface.is_empty());
         for (i, (p, m)) in surface.iter().enumerate() {
             assert_eq!(p, points[i]);
-            assert_eq!(m, &c.analyze_component(ComponentId::Decoder, p));
+            assert_eq!(m, c.analyze_component(ComponentId::Decoder, p));
             assert_eq!(surface.lookup(p), Some(m));
+            assert_eq!(surface.metric_at(i), m);
         }
         assert_eq!(surface.points(), &points);
-        assert_eq!(surface.metrics().len(), 3);
+        assert_eq!(surface.metrics_vec().len(), 3);
         assert!(surface.lookup(k(0.3, 11.0)).is_none());
+    }
+
+    #[test]
+    fn grid_point_sets_use_the_arithmetic_index() {
+        let c = circuit(16 * 1024);
+        let points: Vec<KnobPoint> = nm_device::KnobGrid::coarse().points().collect();
+        let surface = c.component_surface(ComponentId::MemoryArray, &points);
+        assert!(
+            matches!(surface.index, PointIndex::Grid { .. }),
+            "tox-major grid layout should be recognized"
+        );
+        for &p in &points {
+            assert_eq!(
+                surface.lookup(p),
+                Some(c.analyze_component(ComponentId::MemoryArray, p))
+            );
+        }
+        assert!(surface.lookup(k(0.21, 10.01)).is_none());
+    }
+
+    #[test]
+    fn soa_buffers_align_with_metrics() {
+        let c = circuit(16 * 1024);
+        let points = [k(0.2, 10.0), k(0.5, 14.0)];
+        let s = c.component_surface(ComponentId::DataBus, &points);
+        for (i, m) in s.metrics_vec().into_iter().enumerate() {
+            assert_eq!(s.delays()[i], m.delay.0);
+            assert_eq!(s.subthreshold_leakages()[i], m.leakage.subthreshold.0);
+            assert_eq!(s.gate_leakages()[i], m.leakage.gate.0);
+            assert_eq!(s.junction_leakages()[i], m.leakage.junction.0);
+            assert_eq!(s.read_energies()[i], m.read_energy.0);
+            assert_eq!(s.write_energies()[i], m.write_energy.0);
+            assert_eq!(s.areas()[i], m.area.0);
+            assert_eq!(s.transistor_counts()[i], m.transistors);
+        }
+    }
+
+    #[test]
+    fn signed_zeros_key_identically() {
+        // KnobPoint's validated ranges exclude zero, but the index must
+        // stay total over raw f64 keys (fault-injection surfaces go
+        // through from_parts): both zero encodings map to one key.
+        assert_eq!(zero_normalized_bits(0.0), zero_normalized_bits(-0.0));
+        assert_eq!(zero_normalized_bits(0.0), 0.0f64.to_bits());
+        // And normalization is the identity elsewhere.
+        for x in [0.2, -3.5, 1e-300, f64::INFINITY] {
+            assert_eq!(zero_normalized_bits(x), x.to_bits());
+        }
+        assert_eq!(
+            zero_normalized_bits(f64::NAN),
+            f64::NAN.to_bits(),
+            "NaN payloads pass through"
+        );
+    }
+
+    #[test]
+    fn component_surface_with_shares_one_prims_table() {
+        let c = circuit(16 * 1024);
+        let points: Vec<KnobPoint> = nm_device::KnobGrid::coarse().points().collect();
+        let prims = PrimsTable::new(c.tech(), &points);
+        for id in COMPONENT_IDS {
+            let shared = c.component_surface_with(id, &points, &prims);
+            let direct = c.component_surface(id, &points);
+            assert_eq!(shared, direct, "{id} surface diverged");
+        }
     }
 
     #[test]

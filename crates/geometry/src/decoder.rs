@@ -6,7 +6,7 @@ use crate::config::Organization;
 use crate::logic::Gate;
 use crate::sram::SramCell;
 use nm_device::units::{Farads, Joules, Microns, Seconds, SquareMicrons};
-use nm_device::{KnobPoint, TechnologyNode};
+use nm_device::{KnobPoint, PointPrims, ScalarPrims, TechnologyNode};
 
 /// Per-stage electrical effort the decode tree is buffered to.
 const STAGE_EFFORT: f64 = 4.0;
@@ -36,9 +36,20 @@ fn stage_count(total_effort: f64) -> u32 {
 pub fn analyze(
     tech: &TechnologyNode,
     org: &Organization,
-    _cell: &SramCell,
+    cell: &SramCell,
     knobs: KnobPoint,
 ) -> ComponentMetrics {
+    analyze_with(tech, org, cell, &ScalarPrims::new(knobs))
+}
+
+/// [`analyze`] through a primitive provider (the grid-bulk path).
+pub fn analyze_with<P: PointPrims>(
+    tech: &TechnologyNode,
+    org: &Organization,
+    _cell: &SramCell,
+    prims: &P,
+) -> ComponentMetrics {
+    let knobs = prims.point();
     let wordlines = org.rows * org.subarrays;
     let tree_gate = Gate::nand2(TREE_WN, knobs);
     let driver = Gate::inverter(DRIVER_WN, knobs);
@@ -48,9 +59,9 @@ pub fn analyze(
     // gates of the selected mat group; branching ≈ wordlines.
     let total_effort = wordlines as f64;
     let stages = stage_count(total_effort);
-    let fo_load = Farads(tree_gate.input_capacitance(tech).0 * STAGE_EFFORT);
-    let t_tree = Seconds(tree_gate.delay(tech, fo_load).0 * f64::from(stages));
-    let t_driver = driver.delay(tech, Farads(BOUNDARY_WORDLINE_FF * 1e-15));
+    let fo_load = Farads(tree_gate.input_capacitance_with(tech, prims).0 * STAGE_EFFORT);
+    let t_tree = Seconds(tree_gate.delay_with(tech, prims, fo_load).0 * f64::from(stages));
+    let t_driver = driver.delay_with(tech, prims, Farads(BOUNDARY_WORDLINE_FF * 1e-15));
     let delay = t_tree + t_driver;
 
     // --- Leakage -------------------------------------------------------------
@@ -58,17 +69,17 @@ pub fn analyze(
     // an eighth the size of the row-gate rank.
     let row_gates = wordlines as f64;
     let predecode_gates = (row_gates / 8.0).max(4.0);
-    let leakage =
-        tree_gate.leakage(tech) * (row_gates + predecode_gates) + driver.leakage(tech) * row_gates;
+    let leakage = tree_gate.leakage_with(tech, prims) * (row_gates + predecode_gates)
+        + driver.leakage_with(tech, prims) * row_gates;
 
     // --- Dynamic energy ------------------------------------------------------
     // Per access: the address buffers and two predecode ranks switch, one
     // row gate and one driver fire per active subarray.
     let switched_tree = f64::from(org.decoder_bits) * 2.0 + predecode_gates * 0.25 + 2.0;
-    let e_tree = Joules(tree_gate.switching_energy(tech, fo_load).0 * switched_tree);
+    let e_tree = Joules(tree_gate.switching_energy_with(tech, prims, fo_load).0 * switched_tree);
     let e_driver = Joules(
         driver
-            .switching_energy(tech, Farads(BOUNDARY_WORDLINE_FF * 1e-15))
+            .switching_energy_with(tech, prims, Farads(BOUNDARY_WORDLINE_FF * 1e-15))
             .0
             * 2.0,
     );

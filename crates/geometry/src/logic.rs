@@ -4,7 +4,7 @@
 use nm_device::leakage::{self, ConductionState, LeakageBreakdown};
 use nm_device::transistor::MosfetKind;
 use nm_device::units::{Farads, Joules, Meters, Microns, Ohms, Seconds};
-use nm_device::{drive, KnobPoint, TechnologyNode};
+use nm_device::{drive, KnobPoint, PointPrims, ScalarPrims, TechnologyNode};
 use serde::{Deserialize, Serialize};
 
 /// Ratio of PMOS to NMOS width in a balanced static gate.
@@ -58,21 +58,28 @@ impl Gate {
     /// Worst-case switching resistance (pull-down path including the
     /// stack factor).
     pub fn resistance(self, tech: &TechnologyNode) -> Ohms {
-        let r = drive::effective_resistance(
-            tech,
-            self.knobs,
-            self.wn,
-            self.length(tech),
-            MosfetKind::Nmos,
-        );
+        self.resistance_with(tech, &ScalarPrims::new(self.knobs))
+    }
+
+    /// [`resistance`](Self::resistance) evaluated through a primitive
+    /// provider (the grid-bulk path).
+    pub fn resistance_with<P: PointPrims>(self, tech: &TechnologyNode, prims: &P) -> Ohms {
+        debug_assert_eq!(self.knobs, prims.point(), "prims must match gate knobs");
+        let r = prims.effective_resistance(tech, self.wn, MosfetKind::Nmos);
         Ohms(r.0 * self.stack)
     }
 
     /// Input capacitance presented to the previous stage (both gates).
     pub fn input_capacitance(self, tech: &TechnologyNode) -> Farads {
-        let l = self.length(tech);
-        let cn = drive::gate_capacitance(tech, self.knobs, self.wn, l);
-        let cp = drive::gate_capacitance(tech, self.knobs, self.wp(), l);
+        self.input_capacitance_with(tech, &ScalarPrims::new(self.knobs))
+    }
+
+    /// [`input_capacitance`](Self::input_capacitance) through a primitive
+    /// provider.
+    pub fn input_capacitance_with<P: PointPrims>(self, tech: &TechnologyNode, prims: &P) -> Farads {
+        debug_assert_eq!(self.knobs, prims.point(), "prims must match gate knobs");
+        let cn = prims.gate_capacitance(tech, self.wn);
+        let cp = prims.gate_capacitance(tech, self.wp());
         cn + cp
     }
 
@@ -83,20 +90,35 @@ impl Gate {
 
     /// Propagation delay driving an external load.
     pub fn delay(self, tech: &TechnologyNode, load: Farads) -> Seconds {
+        self.delay_with(tech, &ScalarPrims::new(self.knobs), load)
+    }
+
+    /// [`delay`](Self::delay) through a primitive provider.
+    pub fn delay_with<P: PointPrims>(
+        self,
+        tech: &TechnologyNode,
+        prims: &P,
+        load: Farads,
+    ) -> Seconds {
         let c = self.self_capacitance(tech) + load;
-        Seconds(ELMORE * self.resistance(tech).0 * c.0)
+        Seconds(ELMORE * self.resistance_with(tech, prims).0 * c.0)
     }
 
     /// Standby leakage of the gate, averaged over input states: at any
     /// time one transistor of the pair is off (subthreshold + edge gate
     /// tunnelling) and the other is on (full gate tunnelling).
     pub fn leakage(self, tech: &TechnologyNode) -> LeakageBreakdown {
-        let l = self.length(tech);
+        self.leakage_with(tech, &ScalarPrims::new(self.knobs))
+    }
+
+    /// [`leakage`](Self::leakage) through a primitive provider.
+    pub fn leakage_with<P: PointPrims>(self, tech: &TechnologyNode, prims: &P) -> LeakageBreakdown {
+        debug_assert_eq!(self.knobs, prims.point(), "prims must match gate knobs");
         let vdd = tech.vdd();
         let half = |w: Microns| {
-            let sub = leakage::subthreshold_current(tech, self.knobs, w, l);
-            let g_off = leakage::gate_current(tech, self.knobs, w, l, ConductionState::Off);
-            let g_on = leakage::gate_current(tech, self.knobs, w, l, ConductionState::On);
+            let sub = prims.subthreshold_current(tech, w);
+            let g_off = prims.gate_current(tech, w, ConductionState::Off);
+            let g_on = prims.gate_current(tech, w, ConductionState::On);
             let j = leakage::junction_current(tech, w);
             // 50 % duty in each state.
             LeakageBreakdown::from_currents(vdd, sub * 0.5, (g_off + g_on) * 0.5, j)
@@ -110,7 +132,18 @@ impl Gate {
 
     /// Energy dissipated by one output transition driving `load`.
     pub fn switching_energy(self, tech: &TechnologyNode, load: Farads) -> Joules {
-        let c = self.self_capacitance(tech) + self.input_capacitance(tech) + load;
+        self.switching_energy_with(tech, &ScalarPrims::new(self.knobs), load)
+    }
+
+    /// [`switching_energy`](Self::switching_energy) through a primitive
+    /// provider.
+    pub fn switching_energy_with<P: PointPrims>(
+        self,
+        tech: &TechnologyNode,
+        prims: &P,
+        load: Farads,
+    ) -> Joules {
+        let c = self.self_capacitance(tech) + self.input_capacitance_with(tech, prims) + load;
         // One full charge/discharge cycle dissipates C·V²; a single
         // transition dissipates half.
         Joules(0.5 * c.0 * tech.vdd().0 * tech.vdd().0)
@@ -156,14 +189,26 @@ pub fn repeated_wire(
     wn: Microns,
     length: Meters,
 ) -> (Seconds, u64) {
+    repeated_wire_with(tech, &ScalarPrims::new(knobs), wn, length)
+}
+
+/// [`repeated_wire`] through a primitive provider.
+pub fn repeated_wire_with<P: PointPrims>(
+    tech: &TechnologyNode,
+    prims: &P,
+    wn: Microns,
+    length: Meters,
+) -> (Seconds, u64) {
     /// Repeater pitch in metres (0.5 mm of intermediate metal).
     const REPEATER_PITCH: f64 = 0.5e-3;
     let stages = (length.0 / REPEATER_PITCH).ceil().max(1.0) as u64;
     let seg = Meters(length.0 / stages as f64);
-    let driver = Gate::inverter(wn, knobs);
+    let driver = Gate::inverter(wn, prims.point());
     let wire = Wire::new(tech, seg);
-    let per_stage = wire.elmore_delay(driver.resistance(tech), driver.input_capacitance(tech))
-        + driver.delay(tech, Farads(0.0));
+    let per_stage = wire.elmore_delay(
+        driver.resistance_with(tech, prims),
+        driver.input_capacitance_with(tech, prims),
+    ) + driver.delay_with(tech, prims, Farads(0.0));
     (Seconds(per_stage.0 * stages as f64), stages)
 }
 

@@ -8,7 +8,7 @@ use nm_device::leakage::{self, ConductionState, LeakageBreakdown};
 use nm_device::scaling::scaled_area;
 use nm_device::transistor::MosfetKind;
 use nm_device::units::{Amperes, Farads, Microns, SquareMicrons};
-use nm_device::{drive, KnobPoint, TechnologyNode};
+use nm_device::{drive, KnobPoint, PointPrims, ScalarPrims, TechnologyNode};
 use serde::{Deserialize, Serialize};
 
 /// A 6T SRAM cell design (widths quoted at the minimum-`Tox` process
@@ -46,14 +46,31 @@ impl SramCell {
         scaled_area(tech, base, knobs.tox())
     }
 
+    /// [`area`](Self::area) through a primitive provider.
+    pub fn area_with<P: PointPrims>(&self, tech: &TechnologyNode, prims: &P) -> SquareMicrons {
+        let base = SquareMicrons(self.pitch_x.0 * self.pitch_y.0);
+        let s = prims.cell_scale(tech);
+        SquareMicrons(base.0 * s * s)
+    }
+
     /// Cell width (bitline pitch) under a `Tox` assignment.
     pub fn scaled_pitch_x(&self, tech: &TechnologyNode, knobs: KnobPoint) -> Microns {
         self.pitch_x * tech.cell_scale(knobs.tox())
     }
 
+    /// [`scaled_pitch_x`](Self::scaled_pitch_x) through a primitive provider.
+    pub fn scaled_pitch_x_with<P: PointPrims>(&self, tech: &TechnologyNode, prims: &P) -> Microns {
+        self.pitch_x * prims.cell_scale(tech)
+    }
+
     /// Cell height (wordline pitch) under a `Tox` assignment.
     pub fn scaled_pitch_y(&self, tech: &TechnologyNode, knobs: KnobPoint) -> Microns {
         self.pitch_y * tech.cell_scale(knobs.tox())
+    }
+
+    /// [`scaled_pitch_y`](Self::scaled_pitch_y) through a primitive provider.
+    pub fn scaled_pitch_y_with<P: PointPrims>(&self, tech: &TechnologyNode, prims: &P) -> Microns {
+        self.pitch_y * prims.cell_scale(tech)
     }
 
     /// Standby leakage of one cell holding a value with both bitlines
@@ -71,15 +88,23 @@ impl SramCell {
     ///
     /// Junction leakage accrues once per transistor.
     pub fn leakage(&self, tech: &TechnologyNode, knobs: KnobPoint) -> LeakageBreakdown {
-        let scale = tech.cell_scale(knobs.tox());
-        let l = tech.drawn_length(knobs.tox());
+        self.leakage_with(tech, &ScalarPrims::new(knobs))
+    }
+
+    /// [`leakage`](Self::leakage) through a primitive provider.
+    pub fn leakage_with<P: PointPrims>(
+        &self,
+        tech: &TechnologyNode,
+        prims: &P,
+    ) -> LeakageBreakdown {
+        let scale = prims.cell_scale(tech);
         let vdd = tech.vdd();
         let wa = self.w_access * scale;
         let wd = self.w_pulldown * scale;
         let wu = self.w_pullup * scale;
 
-        let sub = |w: Microns| leakage::subthreshold_current(tech, knobs, w, l);
-        let gate = |w: Microns, s: ConductionState| leakage::gate_current(tech, knobs, w, l, s);
+        let sub = |w: Microns| prims.subthreshold_current(tech, w);
+        let gate = |w: Microns, s: ConductionState| prims.gate_current(tech, w, s);
         let junc = |w: Microns| leakage::junction_current(tech, w);
 
         // Subthreshold: PD-R, PU-L, access-L (PMOS pull-up leaks about
@@ -101,23 +126,36 @@ impl SramCell {
     /// path, dominated by the weaker access device (20 % series
     /// degradation).
     pub fn read_current(&self, tech: &TechnologyNode, knobs: KnobPoint) -> Amperes {
-        let scale = tech.cell_scale(knobs.tox());
-        let l = tech.drawn_length(knobs.tox());
-        let i = drive::on_current(tech, knobs, self.w_access * scale, l, MosfetKind::Nmos);
+        self.read_current_with(tech, &ScalarPrims::new(knobs))
+    }
+
+    /// [`read_current`](Self::read_current) through a primitive provider.
+    pub fn read_current_with<P: PointPrims>(&self, tech: &TechnologyNode, prims: &P) -> Amperes {
+        let scale = prims.cell_scale(tech);
+        let i = prims.on_current(tech, self.w_access * scale, MosfetKind::Nmos);
         i * 0.8
     }
 
     /// Capacitance one cell adds to its bitline (access drain junction).
     pub fn bitline_load(&self, tech: &TechnologyNode, knobs: KnobPoint) -> Farads {
-        let scale = tech.cell_scale(knobs.tox());
+        self.bitline_load_with(tech, &ScalarPrims::new(knobs))
+    }
+
+    /// [`bitline_load`](Self::bitline_load) through a primitive provider.
+    pub fn bitline_load_with<P: PointPrims>(&self, tech: &TechnologyNode, prims: &P) -> Farads {
+        let scale = prims.cell_scale(tech);
         drive::drain_capacitance(tech, self.w_access * scale)
     }
 
     /// Capacitance one cell adds to its wordline (two access gates).
     pub fn wordline_load(&self, tech: &TechnologyNode, knobs: KnobPoint) -> Farads {
-        let scale = tech.cell_scale(knobs.tox());
-        let l = tech.drawn_length(knobs.tox());
-        drive::gate_capacitance(tech, knobs, self.w_access * scale, l) * 2.0
+        self.wordline_load_with(tech, &ScalarPrims::new(knobs))
+    }
+
+    /// [`wordline_load`](Self::wordline_load) through a primitive provider.
+    pub fn wordline_load_with<P: PointPrims>(&self, tech: &TechnologyNode, prims: &P) -> Farads {
+        let scale = prims.cell_scale(tech);
+        prims.gate_capacitance(tech, self.w_access * scale) * 2.0
     }
 }
 

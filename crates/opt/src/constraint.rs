@@ -33,11 +33,14 @@ pub fn fastest_under_budget(front: &[FrontPoint], budget: f64) -> Option<&FrontP
 /// Evenly spaced feasible deadlines across a front's delay range
 /// (inclusive of both endpoints), for sweep-style experiments.
 pub fn deadline_sweep(front: &[FrontPoint], steps: usize) -> Vec<f64> {
-    if front.is_empty() || steps == 0 {
+    let (Some(first), Some(last)) = (front.first(), front.last()) else {
+        return Vec::new();
+    };
+    if steps == 0 {
         return Vec::new();
     }
-    let lo = front.first().expect("non-empty").delay;
-    let hi = front.last().expect("non-empty").delay;
+    let lo = first.delay;
+    let hi = last.delay;
     if steps == 1 || hi <= lo {
         return vec![hi];
     }

@@ -9,13 +9,14 @@ use crate::Candidate;
 /// The result is sorted by ascending delay with strictly descending cost,
 /// which is what [`crate::constraint::best_under_deadline`] binary-searches
 /// over. Exact ties in both metrics keep the first occurrence.
+///
+/// NaN candidates (a NaN delay or cost — constructible through raw
+/// `Candidate` literals, e.g. by fault-injection surfaces) are treated as
+/// dominated and dropped up front, so downstream merges only ever see a
+/// total order; `total_cmp` keeps the sort itself panic-free either way.
 pub fn prune(mut candidates: Vec<Candidate>) -> Vec<Candidate> {
-    candidates.sort_by(|a, b| {
-        a.delay
-            .partial_cmp(&b.delay)
-            .expect("finite delays")
-            .then(a.cost.partial_cmp(&b.cost).expect("finite costs"))
-    });
+    candidates.retain(|c| !c.delay.is_nan() && !c.cost.is_nan());
+    candidates.sort_by(|a, b| a.delay.total_cmp(&b.delay).then(a.cost.total_cmp(&b.cost)));
     let mut front: Vec<Candidate> = Vec::with_capacity(candidates.len());
     for c in candidates {
         match front.last() {
@@ -157,6 +158,37 @@ mod tests {
     #[should_panic(expected = "epsilon must be non-negative")]
     fn negative_epsilon_panics() {
         let _ = prune_epsilon(vec![c(1.0, 1.0)], -0.1);
+    }
+
+    #[test]
+    fn nan_candidates_are_dominated_out_not_a_crash() {
+        // Raw literals bypass Candidate::new's finiteness assert — the
+        // route a poisoned fault-injection surface takes.
+        let nan_delay = Candidate {
+            knobs: KnobPoint::nominal(),
+            delay: f64::NAN,
+            cost: 0.5,
+        };
+        let nan_cost = Candidate {
+            knobs: KnobPoint::nominal(),
+            delay: 0.5,
+            cost: f64::NAN,
+        };
+        let front = prune(vec![c(2.0, 1.0), nan_delay, c(1.0, 2.0), nan_cost]);
+        assert_eq!(front.len(), 2);
+        assert!(front
+            .iter()
+            .all(|p| p.delay.is_finite() && p.cost.is_finite()));
+    }
+
+    #[test]
+    fn all_nan_input_prunes_to_empty() {
+        let nan = Candidate {
+            knobs: KnobPoint::nominal(),
+            delay: f64::NAN,
+            cost: f64::NAN,
+        };
+        assert!(prune(vec![nan, nan]).is_empty());
     }
 
     #[test]

@@ -5,7 +5,7 @@ use nm_device::KnobPoint;
 use nm_opt::anneal::{anneal, AnnealConfig};
 use nm_opt::budget::solve_budget_dp;
 use nm_opt::constraint::{best_under_deadline, deadline_sweep, fastest_under_budget};
-use nm_opt::merge::system_front;
+use nm_opt::merge::{system_front, system_front_with_base, MergeBase};
 use nm_opt::tuple::{combinations, optimize_with_tuple_counts};
 use nm_opt::{Candidate, Group};
 use proptest::prelude::*;
@@ -150,6 +150,32 @@ proptest! {
             // for the DP; that direction is acceptable.
             (Some(_), None) | (None, None) => {}
         }
+    }
+
+    /// Incremental re-merge from a cached base equals a from-scratch
+    /// merge whichever group is mutated, and reuses exactly the layers of
+    /// the unchanged prefix.
+    #[test]
+    fn incremental_merge_equals_full_merge(
+        g1 in arb_group("a"),
+        g2 in arb_group("b"),
+        g3 in arb_group("c"),
+        which in 0usize..3,
+    ) {
+        let groups = vec![g1, g2, g3];
+        let base = MergeBase::try_new(&groups).expect("non-empty system");
+        let mut mutated = groups.clone();
+        // Re-cost one group: every pruned front from it onward changes,
+        // everything before it is untouched.
+        let recosted: Vec<Candidate> = mutated[which]
+            .candidates()
+            .iter()
+            .map(|c| Candidate::new(c.knobs, c.delay, c.cost * 1.5 + 0.01))
+            .collect();
+        mutated[which] = Group::new("mutated", recosted);
+        let (incremental, reused) = system_front_with_base(&mutated, &base);
+        prop_assert_eq!(reused, which);
+        prop_assert_eq!(incremental, system_front(&mutated));
     }
 
     /// `combinations(n, k)` has binomial-coefficient cardinality and only

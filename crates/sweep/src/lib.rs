@@ -342,7 +342,28 @@ impl ParallelSweep {
         let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
         slots.resize_with(n, || None);
 
-        if n > 0 {
+        let run_one = |i: usize| -> R {
+            match &item_hist {
+                Some(hist) => {
+                    let t0 = Instant::now();
+                    let r = f(&items[i]);
+                    nm_telemetry::observe_seconds(hist, t0.elapsed().as_secs_f64());
+                    r
+                }
+                None => f(&items[i]),
+            }
+        };
+
+        if workers == 1 {
+            // Inline fast path: a one-worker pool is a serial loop, so run
+            // it on the calling thread and skip the scope/spawn/join
+            // round-trip entirely. Results, panics (re-raised here by
+            // unwinding naturally) and stats are identical to a one-thread
+            // pool; on a single-CPU host this is the cold path's executor.
+            for (i, slot) in slots.iter_mut().enumerate() {
+                *slot = Some(run_one(i));
+            }
+        } else if n > 0 {
             let next = AtomicUsize::new(0);
             let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..workers)
@@ -354,19 +375,7 @@ impl ParallelSweep {
                                 if i >= n {
                                     break;
                                 }
-                                let r = match &item_hist {
-                                    Some(hist) => {
-                                        let t0 = Instant::now();
-                                        let r = f(&items[i]);
-                                        nm_telemetry::observe_seconds(
-                                            hist,
-                                            t0.elapsed().as_secs_f64(),
-                                        );
-                                        r
-                                    }
-                                    None => f(&items[i]),
-                                };
-                                local.push((i, r));
+                                local.push((i, run_one(i)));
                             }
                             local
                         })
@@ -490,24 +499,45 @@ impl ParallelSweep {
             let next = AtomicUsize::new(0);
             // (index, contained outcome) pairs one worker carries home.
             type WorkerBatch<R> = Vec<(usize, Result<R, ItemFault>)>;
-            let joined: Vec<std::thread::Result<WorkerBatch<R>>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|_| {
-                        scope.spawn(|| {
-                            let mut local = Vec::new();
-                            loop {
-                                let i = next.fetch_add(1, Ordering::Relaxed);
-                                if i >= n {
-                                    break;
+            let joined: Vec<std::thread::Result<WorkerBatch<R>>> = if workers == 1 {
+                // Inline fast path: run the single worker's drain loop on
+                // the calling thread instead of spawning it. The loop is
+                // wrapped in `catch_unwind` so a panic that escapes the
+                // per-item containment (an injected worker kill) still
+                // reads as a dead worker — its claimed items are lost and
+                // re-run by the degraded serial pass below, exactly as if
+                // a spawned worker had died.
+                vec![catch_unwind(AssertUnwindSafe(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, run_item(i, false)));
+                    }
+                    local
+                }))]
+            } else {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..workers)
+                        .map(|_| {
+                            scope.spawn(|| {
+                                let mut local = Vec::new();
+                                loop {
+                                    let i = next.fetch_add(1, Ordering::Relaxed);
+                                    if i >= n {
+                                        break;
+                                    }
+                                    local.push((i, run_item(i, false)));
                                 }
-                                local.push((i, run_item(i, false)));
-                            }
-                            local
+                                local
+                            })
                         })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join()).collect()
-            });
+                        .collect();
+                    handles.into_iter().map(|h| h.join()).collect()
+                })
+            };
             for outcome in joined {
                 match outcome {
                     Ok(local) => {

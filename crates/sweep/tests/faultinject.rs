@@ -100,6 +100,28 @@ fn killed_worker_degrades_to_serial_and_completes() {
 }
 
 #[test]
+fn killed_single_inline_worker_degrades_to_serial_and_completes() {
+    let _guard = plan_lock();
+    clear();
+    arm(Some("inline-kill"), 2, Fault::KillWorker, 1);
+
+    // A one-worker pool runs inline on the calling thread; the escaping
+    // kill must still read as a dead worker (not sink the caller), with
+    // the lost items re-run by the degraded serial pass.
+    let run = ParallelSweep::new()
+        .with_workers(1)
+        .labeled("inline-kill")
+        .try_map(&items(6), |&i| i * 3);
+
+    assert_eq!(run.poisoned_workers, 1, "inline worker counted as dead");
+    assert_eq!(run.fault_count(), 0);
+    for (i, r) in run.results.iter().enumerate() {
+        assert_eq!(*r.as_ref().expect("completed"), i * 3);
+    }
+    clear();
+}
+
+#[test]
 fn all_workers_killed_still_completes_serially() {
     let _guard = plan_lock();
     clear();
