@@ -2,7 +2,7 @@ use std::error::Error;
 use std::fmt;
 
 /// Errors from cache-simulator configuration.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum SimError {
     /// A cache parameter was not a power of two.
@@ -21,6 +21,16 @@ pub enum SimError {
         /// Associativity.
         ways: u64,
     },
+    /// A hierarchy was built with zero cache levels.
+    EmptyHierarchy,
+    /// A per-level miss rate was not a probability (non-finite or outside
+    /// `[0, 1]`), so it must not feed AMAT delay weights.
+    MissRateOutOfRange {
+        /// Zero-based level index.
+        level: usize,
+        /// Offending value.
+        value: f64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -32,6 +42,13 @@ impl fmt::Display for SimError {
             SimError::InconsistentShape { size, block, ways } => write!(
                 f,
                 "cache shape impossible: {size} B with {block} B blocks and {ways} ways"
+            ),
+            SimError::EmptyHierarchy => {
+                write!(f, "cache hierarchy needs at least one level")
+            }
+            SimError::MissRateOutOfRange { level, value } => write!(
+                f,
+                "level {level} miss rate is {value}: must be finite and in [0, 1]"
             ),
         }
     }
@@ -51,5 +68,17 @@ mod tests {
             ways: 64,
         };
         assert!(e.to_string().contains("1024"));
+    }
+
+    #[test]
+    fn miss_rate_error_names_the_level() {
+        let e = SimError::MissRateOutOfRange {
+            level: 2,
+            value: f64::NAN,
+        };
+        let text = e.to_string();
+        assert!(text.contains("level 2") && text.contains("NaN"), "{text}");
+        assert!(e.to_string().contains("[0, 1]"));
+        assert_eq!(SimError::EmptyHierarchy, SimError::EmptyHierarchy);
     }
 }

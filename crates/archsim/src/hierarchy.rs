@@ -1,7 +1,16 @@
-//! A two-level (L1 + L2) cache hierarchy with inclusive filtering.
+//! Multi-level cache hierarchies with inclusive filtering.
+//!
+//! [`MultiLevel`] simulates an arbitrary-depth miss chain: each reference
+//! probes level 0, misses fall through to the next level, and misses at
+//! the last level go to main memory. Dirty victims are written back into
+//! the next level down (and propagate further when the writeback itself
+//! evicts a dirty line). [`TwoLevel`] is the classic L1 + L2 shape as a
+//! thin wrapper — bit-for-bit the same behaviour and statistics as the
+//! dedicated two-level simulator it replaced.
 
 use crate::access::Access;
-use crate::cache::{CacheParams, CacheSim, CacheStats, Replacement};
+use crate::cache::{CacheParams, CacheSim, CacheStats, Outcome, Replacement};
+use crate::error::SimError;
 use serde::{Deserialize, Serialize};
 
 /// Hierarchy-level statistics.
@@ -36,7 +45,207 @@ impl HierarchyStats {
     }
 }
 
-/// An L1 + L2 hierarchy.
+/// Per-level statistics of an N-level hierarchy.
+///
+/// `levels[0]` covers every CPU reference; `levels[i]` for `i > 0` covers
+/// level *i*'s *demand* stream only (misses falling through from level
+/// *i−1*). Writeback traffic is tallied separately in `writebacks`, so the
+/// local miss rates stay demand miss rates — the quantities the AMAT
+/// weight chain multiplies.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MultiLevelStats {
+    /// Demand-stream statistics per level, outermost (L1) first.
+    pub levels: Vec<CacheStats>,
+    /// Dirty victims written out of each level into the next (the last
+    /// level's victims go to main memory).
+    pub writebacks: Vec<u64>,
+}
+
+impl MultiLevelStats {
+    /// Local (per-demand-probe) miss rate of each level, outermost first.
+    pub fn local_miss_rates(&self) -> Vec<f64> {
+        self.levels.iter().map(CacheStats::miss_rate).collect()
+    }
+
+    /// Validated [`local_miss_rates`](Self::local_miss_rates): every rate
+    /// checked finite and in `[0, 1]` before it can feed delay weights.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MissRateOutOfRange`] naming the first offending level.
+    pub fn try_local_miss_rates(&self) -> Result<Vec<f64>, SimError> {
+        let rates = self.local_miss_rates();
+        for (level, &value) in rates.iter().enumerate() {
+            if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+                return Err(SimError::MissRateOutOfRange { level, value });
+            }
+        }
+        Ok(rates)
+    }
+
+    /// Global miss rate: main-memory accesses per CPU reference (the
+    /// product of the local rates).
+    pub fn global_miss_rate(&self) -> f64 {
+        self.levels.iter().map(CacheStats::miss_rate).product()
+    }
+}
+
+/// An N-level miss-chain cache hierarchy.
+///
+/// ```
+/// use nm_archsim::{MultiLevel, CacheParams, Replacement, Access};
+///
+/// let mut h = MultiLevel::new(
+///     vec![
+///         CacheParams::new(16 * 1024, 64, 4)?,
+///         CacheParams::new(256 * 1024, 64, 8)?,
+///         CacheParams::new(4 * 1024 * 1024, 64, 16)?,
+///     ],
+///     Replacement::Lru,
+/// )?;
+/// for i in 0..1000u64 {
+///     h.access(Access::read(i * 64));
+/// }
+/// assert_eq!(h.stats().levels.len(), 3);
+/// # Ok::<(), nm_archsim::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiLevel {
+    levels: Vec<CacheSim>,
+    demand: Vec<CacheStats>,
+    victim_writebacks: Vec<u64>,
+}
+
+impl MultiLevel {
+    /// Builds a cold hierarchy, outermost (L1) level first, with a shared
+    /// replacement policy.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::EmptyHierarchy`] when `levels` is empty.
+    pub fn new(levels: Vec<CacheParams>, policy: Replacement) -> Result<Self, SimError> {
+        if levels.is_empty() {
+            return Err(SimError::EmptyHierarchy);
+        }
+        let n = levels.len();
+        Ok(MultiLevel {
+            levels: levels
+                .into_iter()
+                .map(|p| CacheSim::new(p, policy))
+                .collect(),
+            demand: vec![CacheStats::default(); n],
+            victim_writebacks: vec![0; n],
+        })
+    }
+
+    /// Number of cache levels.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Parameters of level `i` (0 = L1).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn params(&self, i: usize) -> CacheParams {
+        self.levels[i].params()
+    }
+
+    /// Issues one CPU reference through the miss chain.
+    ///
+    /// Returns `Some(i)` when level `i` hit, `None` when the reference
+    /// fell through every level to main memory.
+    pub fn access(&mut self, access: Access) -> Option<usize> {
+        let n = self.levels.len();
+        for i in 0..n {
+            let out = self.levels[i].access(access);
+            if i > 0 {
+                let d = &mut self.demand[i];
+                d.accesses += 1;
+                if access.is_write() {
+                    d.writes += 1;
+                }
+                if !out.is_hit() {
+                    d.misses += 1;
+                }
+                if matches!(
+                    out,
+                    Outcome::Miss {
+                        victim_writeback: true
+                    }
+                ) {
+                    d.writebacks += 1;
+                }
+            }
+            if out.is_hit() {
+                return Some(i);
+            }
+            if matches!(
+                out,
+                Outcome::Miss {
+                    victim_writeback: true
+                }
+            ) {
+                // The victim's address is unknown to the cache model (tags
+                // only); write back to the same set region — lower levels
+                // are large enough that this approximation does not
+                // disturb the demand stream. A writeback that itself
+                // evicts a dirty line propagates one level further.
+                self.victim_writebacks[i] += 1;
+                for j in i + 1..n {
+                    let wb = self.levels[j].access(Access::write(access.addr));
+                    if matches!(
+                        wb,
+                        Outcome::Miss {
+                            victim_writeback: true
+                        }
+                    ) {
+                        self.victim_writebacks[j] += 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Runs a whole access iterator; returns references processed.
+    pub fn run<I: IntoIterator<Item = Access>>(&mut self, accesses: I) -> u64 {
+        let mut n = 0;
+        for a in accesses {
+            self.access(a);
+            n += 1;
+        }
+        n
+    }
+
+    /// Snapshot of the per-level statistics.
+    pub fn stats(&self) -> MultiLevelStats {
+        let mut levels: Vec<CacheStats> = self.demand.clone();
+        levels[0] = self.levels[0].stats();
+        MultiLevelStats {
+            levels,
+            writebacks: self.victim_writebacks.clone(),
+        }
+    }
+
+    /// Clears statistics after warm-up, keeping contents.
+    pub fn reset_stats(&mut self) {
+        for sim in &mut self.levels {
+            sim.reset_stats();
+        }
+        for d in &mut self.demand {
+            *d = CacheStats::default();
+        }
+        for w in &mut self.victim_writebacks {
+            *w = 0;
+        }
+    }
+}
+
+/// An L1 + L2 hierarchy: the two-level view over [`MultiLevel`].
 ///
 /// ```
 /// use nm_archsim::{TwoLevel, CacheParams, Replacement, Access};
@@ -54,31 +263,25 @@ impl HierarchyStats {
 /// ```
 #[derive(Debug, Clone)]
 pub struct TwoLevel {
-    l1: CacheSim,
-    l2: CacheSim,
-    demand_l2: CacheStats,
-    l1_writebacks: u64,
+    inner: MultiLevel,
 }
 
 impl TwoLevel {
     /// Builds a cold hierarchy with a shared replacement policy.
     pub fn new(l1: CacheParams, l2: CacheParams, policy: Replacement) -> Self {
         TwoLevel {
-            l1: CacheSim::new(l1, policy),
-            l2: CacheSim::new(l2, policy),
-            demand_l2: CacheStats::default(),
-            l1_writebacks: 0,
+            inner: MultiLevel::new(vec![l1, l2], policy).expect("two levels are not zero"),
         }
     }
 
     /// L1 parameters.
     pub fn l1_params(&self) -> CacheParams {
-        self.l1.params()
+        self.inner.params(0)
     }
 
     /// L2 parameters.
     pub fn l2_params(&self) -> CacheParams {
-        self.l2.params()
+        self.inner.params(1)
     }
 
     /// Issues one CPU reference through the hierarchy.
@@ -86,64 +289,31 @@ impl TwoLevel {
     /// Returns `(l1_hit, l2_hit)`; `l2_hit` is `None` when L1 hit and the
     /// reference never reached L2.
     pub fn access(&mut self, access: Access) -> (bool, Option<bool>) {
-        let l1_out = self.l1.access(access);
-        if l1_out.is_hit() {
-            return (true, None);
+        match self.inner.access(access) {
+            Some(0) => (true, None),
+            Some(_) => (false, Some(true)),
+            None => (false, Some(false)),
         }
-        if let crate::cache::Outcome::Miss {
-            victim_writeback: true,
-        } = l1_out
-        {
-            // The victim's address is unknown to the L1 model (tags only);
-            // write back to the same set region — L2 is large enough that
-            // this approximation does not disturb the demand stream.
-            self.l1_writebacks += 1;
-            self.l2.access(Access::write(access.addr));
-        }
-        let l2_out = self.l2.access(access);
-        self.demand_l2.accesses += 1;
-        if access.is_write() {
-            self.demand_l2.writes += 1;
-        }
-        if !l2_out.is_hit() {
-            self.demand_l2.misses += 1;
-        }
-        if matches!(
-            l2_out,
-            crate::cache::Outcome::Miss {
-                victim_writeback: true
-            }
-        ) {
-            self.demand_l2.writebacks += 1;
-        }
-        (false, Some(l2_out.is_hit()))
     }
 
     /// Runs a whole access iterator; returns references processed.
     pub fn run<I: IntoIterator<Item = Access>>(&mut self, accesses: I) -> u64 {
-        let mut n = 0;
-        for a in accesses {
-            self.access(a);
-            n += 1;
-        }
-        n
+        self.inner.run(accesses)
     }
 
     /// Snapshot of the hierarchy statistics.
     pub fn stats(&self) -> HierarchyStats {
+        let s = self.inner.stats();
         HierarchyStats {
-            l1: self.l1.stats(),
-            l2: self.demand_l2,
-            l1_writebacks: self.l1_writebacks,
+            l1: s.levels[0],
+            l2: s.levels[1],
+            l1_writebacks: s.writebacks[0],
         }
     }
 
     /// Clears statistics after warm-up, keeping contents.
     pub fn reset_stats(&mut self) {
-        self.l1.reset_stats();
-        self.l2.reset_stats();
-        self.demand_l2 = CacheStats::default();
-        self.l1_writebacks = 0;
+        self.inner.reset_stats();
     }
 }
 
@@ -241,5 +411,122 @@ mod tests {
         }
         assert!(h.stats().l1_miss_rate() < 0.01);
         assert_eq!(h.stats().l2.accesses, 0);
+    }
+
+    fn chain(sizes: &[u64], ways: &[u64]) -> MultiLevel {
+        MultiLevel::new(
+            sizes
+                .iter()
+                .zip(ways)
+                .map(|(&s, &w)| CacheParams::new(s, 64, w).unwrap())
+                .collect(),
+            Replacement::Lru,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_hierarchy_is_a_typed_error() {
+        assert_eq!(
+            MultiLevel::new(vec![], Replacement::Lru).unwrap_err(),
+            SimError::EmptyHierarchy
+        );
+    }
+
+    #[test]
+    fn three_level_chain_filters_monotonically() {
+        let mut h = chain(&[4 * 1024, 64 * 1024, 1024 * 1024], &[4, 8, 16]);
+        // Uniform random reuse over a 128 KB working set: mostly misses
+        // the 4 KB L1, half-fits the 64 KB L2, fits the 1 MB L3.
+        let mut x = 0x2545_f491_4f6c_dd1d_u64;
+        for _ in 0..200_000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            h.access(Access::read((x >> 33) % (1 << 17)));
+        }
+        let s = h.stats();
+        assert_eq!(s.levels.len(), 3);
+        // Demand streams shrink level by level.
+        assert!(s.levels[0].accesses > s.levels[1].accesses);
+        assert!(s.levels[1].accesses > s.levels[2].accesses);
+        // Each level's demand accesses equal the previous level's misses.
+        assert_eq!(s.levels[1].accesses, s.levels[0].misses);
+        assert_eq!(s.levels[2].accesses, s.levels[1].misses);
+        // The big L3 absorbs most of what reaches it.
+        let rates = s.try_local_miss_rates().unwrap();
+        assert!(rates[2] < rates[0], "L3 {} vs L1 {}", rates[2], rates[0]);
+        // Global rate is the product of locals.
+        let product: f64 = rates.iter().product();
+        assert!((s.global_miss_rate() - product).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_level_is_reported() {
+        let mut h = chain(&[4 * 1024, 64 * 1024], &[4, 8]);
+        assert_eq!(h.access(Access::read(0x40)), None); // cold: memory
+        assert_eq!(h.access(Access::read(0x40)), Some(0)); // L1 hit
+                                                           // Evict 0x40 from tiny L1 with conflicting lines, then re-read: L2.
+        let stride = 64 * h.params(0).sets();
+        for k in 1..=8u64 {
+            h.access(Access::read(0x40 + k * stride));
+        }
+        assert_eq!(h.access(Access::read(0x40)), Some(1));
+        assert_eq!(h.depth(), 2);
+    }
+
+    #[test]
+    fn two_level_wrapper_is_bit_identical_to_multilevel() {
+        let l1 = CacheParams::new(4 * 1024, 64, 4).unwrap();
+        let l2 = CacheParams::new(64 * 1024, 64, 8).unwrap();
+        let mut two = TwoLevel::new(l1, l2, Replacement::Lru);
+        let mut multi = MultiLevel::new(vec![l1, l2], Replacement::Lru).unwrap();
+        for i in 0..50_000u64 {
+            let addr = (i.wrapping_mul(0x9e3779b9)) % (1 << 20);
+            let access = if i % 3 == 0 {
+                Access::write(addr)
+            } else {
+                Access::read(addr)
+            };
+            let (l1_hit, l2_hit) = two.access(access);
+            let level = multi.access(access);
+            match level {
+                Some(0) => assert!(l1_hit),
+                Some(1) => assert_eq!((l1_hit, l2_hit), (false, Some(true))),
+                None => assert_eq!((l1_hit, l2_hit), (false, Some(false))),
+                Some(_) => unreachable!(),
+            }
+        }
+        let t = two.stats();
+        let m = multi.stats();
+        assert_eq!(t.l1, m.levels[0]);
+        assert_eq!(t.l2, m.levels[1]);
+        assert_eq!(t.l1_writebacks, m.writebacks[0]);
+    }
+
+    #[test]
+    fn miss_rate_validation_accepts_simulated_stats() {
+        let mut h = chain(&[4 * 1024, 64 * 1024, 512 * 1024], &[4, 8, 8]);
+        for i in 0..10_000u64 {
+            h.access(Access::read((i * 2654435761) % (1 << 20)));
+        }
+        assert!(h.stats().try_local_miss_rates().is_ok());
+        // A corrupted stats block (misses > accesses) is rejected.
+        let bad = MultiLevelStats {
+            levels: vec![CacheStats {
+                accesses: 10,
+                misses: 20,
+                writebacks: 0,
+                writes: 0,
+            }],
+            writebacks: vec![0],
+        };
+        assert_eq!(
+            bad.try_local_miss_rates().unwrap_err(),
+            SimError::MissRateOutOfRange {
+                level: 0,
+                value: 2.0
+            }
+        );
     }
 }

@@ -6,8 +6,9 @@
 //!
 //! * [`cache::CacheSim`] — a set-associative cache with LRU/FIFO/random
 //!   replacement and write-back/write-allocate semantics,
-//! * [`hierarchy::TwoLevel`] — an L1 + L2 hierarchy with local and global
-//!   miss-rate accounting,
+//! * [`hierarchy::MultiLevel`] — an N-level miss-chain hierarchy with
+//!   per-level demand accounting ([`hierarchy::TwoLevel`] is the L1 + L2
+//!   view over it),
 //! * [`workload`] — synthetic trace generators standing in for the
 //!   benchmark suites (loop-locality "spec-like", Zipf-working-set
 //!   "tpcc-like", request-stream "web-like", and a pointer chaser),
@@ -55,6 +56,6 @@ pub use access::{Access, AccessKind};
 pub use cache::{CacheParams, CacheSim, Replacement};
 pub use decay::{DecaySim, DecayStats};
 pub use error::SimError;
-pub use hierarchy::TwoLevel;
-pub use missrates::{MissRateTable, PairStats};
+pub use hierarchy::{HierarchyStats, MultiLevel, MultiLevelStats, TwoLevel};
+pub use missrates::{simulate_chain, ChainStats, MissRateTable, PairStats};
 pub use trace::{TraceError, TraceWorkload};

@@ -2,7 +2,8 @@
 //! architectural statistics the paper's Section 5 optimisations consume.
 
 use crate::cache::{CacheParams, Replacement};
-use crate::hierarchy::TwoLevel;
+use crate::error::SimError;
+use crate::hierarchy::{MultiLevel, TwoLevel};
 use crate::workload::{SuiteKind, Workload};
 use nm_sweep::ParallelSweep;
 use serde::{Deserialize, Serialize};
@@ -63,6 +64,60 @@ pub fn simulate_pair(
         },
         measured: measure,
     }
+}
+
+/// Steady-state statistics for one N-level size chain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChainStats {
+    /// Local (per-demand-probe) miss rate of each level, outermost first.
+    pub local_miss_rates: Vec<f64>,
+    /// Store fraction of the CPU reference stream.
+    pub write_fraction: f64,
+    /// References measured (after warm-up).
+    pub measured: u64,
+}
+
+impl ChainStats {
+    /// Global miss rate: main-memory accesses per CPU reference.
+    pub fn global_miss_rate(&self) -> f64 {
+        self.local_miss_rates.iter().product()
+    }
+}
+
+/// Simulates an N-level size chain against a workload: `warmup`
+/// references to populate the hierarchy, then `measure` references of
+/// statistics. The returned miss rates are validated (finite, in
+/// `[0, 1]`) before they can feed AMAT delay weights.
+///
+/// # Errors
+///
+/// [`SimError::EmptyHierarchy`] for a zero-level chain;
+/// [`SimError::MissRateOutOfRange`] should a measured rate fall outside
+/// `[0, 1]`.
+pub fn simulate_chain(
+    levels: &[CacheParams],
+    workload: &mut (dyn Workload + Send),
+    warmup: u64,
+    measure: u64,
+) -> Result<ChainStats, SimError> {
+    let mut h = MultiLevel::new(levels.to_vec(), Replacement::Lru)?;
+    for _ in 0..warmup {
+        h.access(workload.next_access());
+    }
+    h.reset_stats();
+    for _ in 0..measure {
+        h.access(workload.next_access());
+    }
+    let s = h.stats();
+    Ok(ChainStats {
+        local_miss_rates: s.try_local_miss_rates()?,
+        write_fraction: if s.levels[0].accesses == 0 {
+            0.0
+        } else {
+            s.levels[0].writes as f64 / s.levels[0].accesses as f64
+        },
+        measured: measure,
+    })
 }
 
 /// A table of [`PairStats`] keyed by `(l1_bytes, l2_bytes)`, averaged over
@@ -199,6 +254,58 @@ mod tests {
         assert!(s.l2_local_miss_rate >= 0.0 && s.l2_local_miss_rate <= 1.0);
         assert_eq!(s.measured, 50_000);
         assert!((s.global_miss_rate() - s.l1_miss_rate * s.l2_local_miss_rate).abs() < 1e-15);
+    }
+
+    #[test]
+    fn simulate_chain_matches_pair_for_two_levels() {
+        let l1 = CacheParams::new(8 * 1024, 64, 4).unwrap();
+        let l2 = CacheParams::new(256 * 1024, 64, 8).unwrap();
+        let mut w = SpecLoops::default_suite(11);
+        let pair = simulate_pair(l1, l2, &mut w, 20_000, 50_000);
+        let mut w = SpecLoops::default_suite(11);
+        let chain = simulate_chain(&[l1, l2], &mut w, 20_000, 50_000).unwrap();
+        // Same workload seed, same hierarchy: bit-identical rates.
+        assert_eq!(
+            chain.local_miss_rates[0].to_bits(),
+            pair.l1_miss_rate.to_bits()
+        );
+        assert_eq!(
+            chain.local_miss_rates[1].to_bits(),
+            pair.l2_local_miss_rate.to_bits()
+        );
+        assert_eq!(
+            chain.write_fraction.to_bits(),
+            pair.write_fraction.to_bits()
+        );
+        assert_eq!(chain.measured, pair.measured);
+    }
+
+    #[test]
+    fn simulate_chain_three_levels() {
+        let mut w = SpecLoops::default_suite(5);
+        let s = simulate_chain(
+            &[
+                CacheParams::new(8 * 1024, 64, 4).unwrap(),
+                CacheParams::new(128 * 1024, 64, 8).unwrap(),
+                CacheParams::new(2 * 1024 * 1024, 64, 16).unwrap(),
+            ],
+            &mut w,
+            20_000,
+            50_000,
+        )
+        .unwrap();
+        assert_eq!(s.local_miss_rates.len(), 3);
+        for &m in &s.local_miss_rates {
+            assert!((0.0..=1.0).contains(&m));
+        }
+        let product: f64 = s.local_miss_rates.iter().product();
+        assert!((s.global_miss_rate() - product).abs() < 1e-15);
+        // Empty chains are typed errors, not panics.
+        let mut w = SpecLoops::default_suite(5);
+        assert_eq!(
+            simulate_chain(&[], &mut w, 0, 0).unwrap_err(),
+            SimError::EmptyHierarchy
+        );
     }
 
     #[test]

@@ -1,0 +1,43 @@
+//! **E8 / Table 12** — extension: a three-level hierarchy whose L3 cell
+//! technology varies over SRAM, eDRAM and STT-MRAM, every candidate
+//! re-optimised under one shared iso-AMAT target.
+//!
+//! Expected shape: the low-leakage technologies (eDRAM, and especially
+//! STT-MRAM) win on total leakage despite their slower arrays, because
+//! the slack the shared target grants lets *every* level's knobs relax —
+//! and an SRAM L3 must burn that slack fighting its own cell leakage.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nm_bench::emit_table;
+use nm_cache_core::mixedtech::MixedTechStudy;
+use nm_device::TechProfile;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let study = MixedTechStudy::standard(false).expect("standard study builds");
+    let candidates = [
+        TechProfile::sram(),
+        TechProfile::edram(),
+        TechProfile::stt_mram(),
+    ];
+    let outcome = study
+        .compare(&candidates, 0.15)
+        .expect("candidates evaluable");
+    emit_table("table12_mixed_tech", &outcome.to_table());
+    let [m1, m2, m3] = study.miss_rates();
+    println!("[rates] m1={m1:.4}, m2={m2:.4}, m3={m3:.4}");
+    if let Some(w) = outcome.winner() {
+        println!("[winner] {}", w.tech);
+    }
+
+    c.bench_function("table12/compare_three_technologies", |b| {
+        b.iter(|| black_box(study.compare(&candidates, 0.15)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! **E8 / Table 1** — fit quality of the paper's Eq. 1 (leakage) and
+//! **E0 / Table 1** — fit quality of the paper's Eq. 1 (leakage) and
 //! Eq. 2 (delay) closed forms against the circuit model, per component of
 //! a 16 KB cache (the paper's Section 3 methodology check).
 

@@ -39,6 +39,22 @@ pub enum StudyError {
         /// The offending value (NaN, infinite, or negative).
         value: f64,
     },
+    /// A choice vector's length did not match the hierarchy spec's group
+    /// count, so it cannot be sliced back into per-level assignments.
+    ChoiceLength {
+        /// The spec's group count.
+        expected: usize,
+        /// The offered choice vector's length.
+        got: usize,
+    },
+    /// A per-level miss rate fed to the AMAT weight chain was not a
+    /// probability (non-finite or outside `[0, 1]`).
+    MissRateRange {
+        /// Zero-based index of the offending level's miss rate.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
     /// A hierarchy spec produced no optimiser groups (zero cache levels),
     /// so there is no system front to merge.
     EmptySystem,
@@ -75,6 +91,14 @@ impl fmt::Display for StudyError {
                 "invalid metric surface for {circuit} {component} at \
                  Vth={vth:.3} V, Tox={tox:.1} A: {metric} = {value} \
                  (rejected before caching)"
+            ),
+            StudyError::ChoiceLength { expected, got } => write!(
+                f,
+                "choice vector has {got} entries but the spec's group count is {expected}"
+            ),
+            StudyError::MissRateRange { index, value } => write!(
+                f,
+                "miss rate for level {index} is {value}: must be finite and in [0, 1]"
             ),
             StudyError::EmptySystem => {
                 write!(f, "hierarchy spec has no cache levels: nothing to optimise")
@@ -181,6 +205,28 @@ mod tests {
         let e: StudyError = EmptySystemError.into();
         assert_eq!(e, StudyError::EmptySystem);
         assert!(e.to_string().contains("no cache levels"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn choice_length_names_both_counts() {
+        let e = StudyError::ChoiceLength {
+            expected: 6,
+            got: 2,
+        };
+        let text = e.to_string();
+        assert!(text.contains('6') && text.contains('2'), "{text}");
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn miss_rate_range_names_the_level() {
+        let e = StudyError::MissRateRange {
+            index: 1,
+            value: 1.5,
+        };
+        let text = e.to_string();
+        assert!(text.contains("level 1") && text.contains("1.5"), "{text}");
         assert!(e.source().is_none());
     }
 

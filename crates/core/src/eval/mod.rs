@@ -413,7 +413,21 @@ impl Evaluator {
                         )
                     })
                     .collect();
-                Group::new(format!("{}:{suffix}", level.circuit().config()), candidates)
+                // Non-SRAM levels carry the technology in the group name so
+                // diagnostics distinguish, say, an eDRAM L3 from an SRAM
+                // one of the same shape (identity profiles keep the
+                // original names, and merge reuse compares candidates, not
+                // names).
+                let name = if level.technology().is_identity() {
+                    format!("{}:{suffix}", level.circuit().config())
+                } else {
+                    format!(
+                        "{}[{}]:{suffix}",
+                        level.circuit().config(),
+                        level.technology().name
+                    )
+                };
+                Group::new(name, candidates)
             })
             .collect()
     }
@@ -465,6 +479,14 @@ impl Evaluator {
         fronts.push((spec.clone(), Arc::clone(&front), Arc::new(base)));
         self.fronts_built.fetch_add(1, Ordering::Relaxed);
         nm_telemetry::counter_inc("eval.front_built");
+        // Hierarchy shape of this run, for `--metrics` reports: depth per
+        // freshly-built front plus the per-level technology mix.
+        if nm_telemetry::enabled() {
+            nm_telemetry::counter_add("eval.levels", spec.levels().len() as u64);
+            for level in spec.levels() {
+                nm_telemetry::counter_inc(&format!("device.tech.{}", level.technology().name));
+            }
+        }
         Ok(front)
     }
 
@@ -498,9 +520,10 @@ impl Evaluator {
     ) -> Result<Option<Solution>, StudyError> {
         let _span = nm_telemetry::span("eval.solve");
         let front = self.try_front(spec)?;
-        Ok(constraint
+        constraint
             .select(&front)
-            .map(|point| self.solution(spec, point)))
+            .map(|point| self.try_solution(spec, point))
+            .transpose()
     }
 
     /// [`solve`](Self::solve) with every group restricted to knob values
@@ -566,18 +589,28 @@ impl Evaluator {
         }
         let front = base.front();
         *self.restricted_base.lock().expect("restricted base lock") = Some(Arc::new(base));
-        Ok(constraint
+        constraint
             .select(&front)
-            .map(|point| self.solution(spec, point)))
+            .map(|point| self.try_solution(spec, point))
+            .transpose()
     }
 
     fn solution(&self, spec: &HierarchySpec, point: &FrontPoint) -> Solution {
-        Solution {
+        self.try_solution(spec, point)
+            .unwrap_or_else(|e| panic!("front point does not fit the spec: {e}"))
+    }
+
+    fn try_solution(
+        &self,
+        spec: &HierarchySpec,
+        point: &FrontPoint,
+    ) -> Result<Solution, StudyError> {
+        Ok(Solution {
             delay: point.delay,
             cost: point.cost,
             choice: point.choice.clone(),
-            knobs: spec.knobs_from_choice(&point.choice),
-        }
+            knobs: spec.try_knobs_from_choice(&point.choice)?,
+        })
     }
 
     /// Analyses a whole cache under an assignment, reading per-component

@@ -2,18 +2,21 @@
 //! their knob-grouping schemes, and how each level's delay and cost enter
 //! the system objective.
 
+use crate::error::StudyError;
 use crate::groups::{knobs_from_choice, CostKind, Scheme};
-use nm_device::KnobPoint;
+use nm_device::{KnobPoint, TechProfile};
 use nm_geometry::{CacheCircuit, ComponentKnobs};
 
-/// One cache level of a hierarchy: a circuit, the assignment [`Scheme`]
-/// grouping its knobs, the weight its delay carries in the system
-/// objective (1 for an L1, the L1 miss rate for an L2 in an AMAT study)
-/// and the [`CostKind`] its groups are priced under.
+/// One cache level of a hierarchy: a circuit, the device technology its
+/// cells are built from, the assignment [`Scheme`] grouping its knobs,
+/// the weight its delay carries in the system objective (1 for an L1, the
+/// L1 miss rate for an L2 in an AMAT study) and the [`CostKind`] its
+/// groups are priced under.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LevelSpec {
     label: String,
     circuit: CacheCircuit,
+    technology: TechProfile,
     scheme: Scheme,
     delay_weight: f64,
     cost: CostKind,
@@ -28,6 +31,12 @@ impl LevelSpec {
     /// The level's circuit model.
     pub fn circuit(&self) -> &CacheCircuit {
         &self.circuit
+    }
+
+    /// The level's device technology (taken from the circuit at
+    /// construction; SRAM for plain circuits).
+    pub fn technology(&self) -> &TechProfile {
+        &self.technology
     }
 
     /// The knob-grouping scheme.
@@ -76,9 +85,11 @@ impl HierarchySpec {
         delay_weight: f64,
         cost: CostKind,
     ) -> Self {
+        let technology = circuit.technology().clone();
         self.levels.push(LevelSpec {
             label: label.into(),
             circuit,
+            technology,
             scheme,
             delay_weight,
             cost,
@@ -107,22 +118,69 @@ impl HierarchySpec {
         self.levels.iter().map(|l| l.scheme.group_count()).sum()
     }
 
-    /// Reconstructs each level's [`ComponentKnobs`] from a front point's
-    /// choice vector — the single canonical choice-slicing path (each
-    /// level consumes [`Scheme::group_count`] entries in level order).
+    /// Derives per-level AMAT delay weights from the miss-rate chain:
+    /// level *i* is reached once per access to level 0 times the product
+    /// of all upstream local miss rates, so
+    /// `weights = [1, m₁, m₁·m₂, …]` for local miss rates
+    /// `[m₁, m₂, …, m_N]` (one per level except the last, whose misses go
+    /// to main memory and are priced by the study's memory model, not a
+    /// cache level).
+    ///
+    /// The fold starts at exactly `1.0` and multiplies left-to-right, so
+    /// for an N=2 hierarchy the weights are bit-for-bit `[1.0, m₁]` — the
+    /// constants the two-level studies used to pass by hand.
+    ///
+    /// # Errors
+    ///
+    /// [`StudyError::MissRateRange`] when any rate is non-finite or
+    /// outside `[0, 1]`.
+    pub fn try_amat_weights(miss_rates: &[f64]) -> Result<Vec<f64>, StudyError> {
+        for (index, &value) in miss_rates.iter().enumerate() {
+            if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+                return Err(StudyError::MissRateRange { index, value });
+            }
+        }
+        let mut weights = Vec::with_capacity(miss_rates.len() + 1);
+        let mut w = 1.0;
+        weights.push(w);
+        for &m in miss_rates {
+            w *= m;
+            weights.push(w);
+        }
+        Ok(weights)
+    }
+
+    /// Infallible [`try_amat_weights`](Self::try_amat_weights).
     ///
     /// # Panics
     ///
-    /// Panics when `choice` does not have exactly
+    /// Panics when a miss rate is non-finite or outside `[0, 1]`.
+    pub fn amat_weights(miss_rates: &[f64]) -> Vec<f64> {
+        Self::try_amat_weights(miss_rates).expect("miss rates must be probabilities")
+    }
+
+    /// Non-panicking [`knobs_from_choice`](Self::knobs_from_choice):
+    /// reconstructs each level's [`ComponentKnobs`] from a front point's
+    /// choice vector, or reports the length mismatch as a typed error.
+    ///
+    /// # Errors
+    ///
+    /// [`StudyError::ChoiceLength`] when `choice` does not have exactly
     /// [`group_count`](Self::group_count) entries.
-    pub fn knobs_from_choice(&self, choice: &[KnobPoint]) -> Vec<ComponentKnobs> {
-        assert_eq!(
-            choice.len(),
-            self.group_count(),
-            "choice length does not match the spec's group count"
-        );
+    pub fn try_knobs_from_choice(
+        &self,
+        choice: &[KnobPoint],
+    ) -> Result<Vec<ComponentKnobs>, StudyError> {
+        let expected = self.group_count();
+        if choice.len() != expected {
+            return Err(StudyError::ChoiceLength {
+                expected,
+                got: choice.len(),
+            });
+        }
         let mut offset = 0;
-        self.levels
+        Ok(self
+            .levels
             .iter()
             .map(|l| {
                 let n = l.scheme.group_count();
@@ -130,7 +188,26 @@ impl HierarchySpec {
                 offset += n;
                 knobs
             })
-            .collect()
+            .collect())
+    }
+
+    /// Reconstructs each level's [`ComponentKnobs`] from a front point's
+    /// choice vector — the single canonical choice-slicing path (each
+    /// level consumes [`Scheme::group_count`] entries in level order).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `choice` does not have exactly
+    /// [`group_count`](Self::group_count) entries. Library code should
+    /// prefer [`try_knobs_from_choice`](Self::try_knobs_from_choice).
+    pub fn knobs_from_choice(&self, choice: &[KnobPoint]) -> Vec<ComponentKnobs> {
+        assert_eq!(
+            choice.len(),
+            self.group_count(),
+            "choice length does not match the spec's group count"
+        );
+        self.try_knobs_from_choice(choice)
+            .expect("length checked above")
     }
 }
 
@@ -205,5 +282,82 @@ mod tests {
             CostKind::LeakagePower,
         );
         let _ = spec.knobs_from_choice(&[KnobPoint::nominal()]);
+    }
+
+    #[test]
+    fn try_knobs_from_choice_reports_lengths() {
+        let spec = HierarchySpec::single(
+            circuit(16 * 1024),
+            Scheme::Split,
+            1.0,
+            CostKind::LeakagePower,
+        );
+        let err = spec
+            .try_knobs_from_choice(&[KnobPoint::nominal()])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            StudyError::ChoiceLength {
+                expected: 2,
+                got: 1
+            }
+        );
+        let ok = spec
+            .try_knobs_from_choice(&[KnobPoint::nominal(), KnobPoint::fastest()])
+            .unwrap();
+        assert_eq!(ok.len(), 1);
+    }
+
+    #[test]
+    fn amat_weights_chain_products() {
+        let w = HierarchySpec::amat_weights(&[0.05, 0.25]);
+        assert_eq!(w, vec![1.0, 0.05, 0.05 * 0.25]);
+        assert_eq!(HierarchySpec::amat_weights(&[]), vec![1.0]);
+    }
+
+    #[test]
+    fn amat_weights_first_weight_is_exactly_one_and_m1_exact() {
+        // Bit-identity with the hand-passed constants the two-level
+        // studies used: weights[0] is the literal 1.0 and weights[1] is
+        // the literal m1, not a rounded product.
+        let m1 = 0.123456789_f64;
+        let w = HierarchySpec::amat_weights(&[m1]);
+        assert_eq!(w[0].to_bits(), 1.0_f64.to_bits());
+        assert_eq!(w[1].to_bits(), m1.to_bits());
+    }
+
+    #[test]
+    fn amat_weights_reject_bad_rates() {
+        for bad in [-0.1, 1.5, f64::NAN, f64::INFINITY] {
+            let err = HierarchySpec::try_amat_weights(&[0.1, bad]).unwrap_err();
+            match err {
+                StudyError::MissRateRange { index, .. } => assert_eq!(index, 1),
+                other => panic!("unexpected error {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn level_technology_tracks_the_circuit() {
+        use nm_device::TechProfile;
+        use nm_geometry::CacheConfig;
+        let tech = TechnologyNode::bptm65();
+        let edram = CacheCircuit::with_technology(
+            CacheConfig::new(4 * 1024 * 1024, 64, 16).unwrap(),
+            &tech,
+            TechProfile::edram(),
+        );
+        let spec = HierarchySpec::new()
+            .level(
+                "L1",
+                circuit(16 * 1024),
+                Scheme::Split,
+                1.0,
+                CostKind::LeakagePower,
+            )
+            .level("L3", edram, Scheme::Uniform, 0.01, CostKind::LeakagePower);
+        assert_eq!(spec.levels()[0].technology().name, "sram");
+        assert_eq!(spec.levels()[1].technology().name, "edram");
+        assert!(spec.levels()[0].technology().is_identity());
     }
 }

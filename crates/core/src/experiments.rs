@@ -20,7 +20,7 @@ pub struct Experiment {
 }
 
 /// Every experiment, in the order of `DESIGN.md`'s index.
-pub const ALL: [Experiment; 14] = [
+pub const ALL: [Experiment; 15] = [
     Experiment {
         id: "E1",
         artefact: "Figure 1",
@@ -71,11 +71,18 @@ pub const ALL: [Experiment; 14] = [
         cli: Some("ablation"),
     },
     Experiment {
-        id: "E8",
+        id: "E0",
         artefact: "Section 3",
         title: "Eq.1/Eq.2 surface-fit quality per component",
         bench: "table1_model_fit",
         cli: Some("fit"),
+    },
+    Experiment {
+        id: "E8",
+        artefact: "extension",
+        title: "3-level mixed-technology hierarchy (SRAM/eDRAM/STT-MRAM L3)",
+        bench: "table12_mixed_tech",
+        cli: Some("e8"),
     },
     Experiment {
         id: "X1",

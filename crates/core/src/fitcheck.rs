@@ -1,4 +1,4 @@
-//! E8 — validating the paper's Eq. 1/Eq. 2 closed forms against the
+//! E0 — validating the paper's Eq. 1/Eq. 2 closed forms against the
 //! circuit model.
 //!
 //! Section 3 asserts that each cache component's total leakage is
@@ -70,7 +70,7 @@ pub fn component_fits(
         .collect()
 }
 
-/// **E8** — renders the per-component fit quality as a table.
+/// **E0** — renders the per-component fit quality as a table.
 ///
 /// # Errors
 ///

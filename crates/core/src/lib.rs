@@ -14,7 +14,8 @@
 //! | E5 | Section 5 L1 size sweep | [`twolevel::TwoLevelStudy::l1_size_sweep`] |
 //! | E6 | Figure 2 (Tox, Vth) tuple problem | [`memsys::MemorySystemStudy::tuple_curves`] |
 //! | E7 | "Vth is the better knob" ablation | [`single::SingleCacheStudy::knob_ablation`] |
-//! | E8 | Eq. 1/Eq. 2 surface-fit quality | [`fitcheck::fit_report`] |
+//! | E0 | Eq. 1/Eq. 2 surface-fit quality | [`fitcheck::fit_report`] |
+//! | E8 | Extension: 3-level mixed-technology hierarchy | [`mixedtech::MixedTechStudy`] |
 //! | X1 | Extension: die-to-die variation | [`variation::VariationStudy`] |
 //! | X2 | Extension: temperature sensitivity | [`thermal::ThermalStudy`] |
 //! | X3 | Extension: knobs vs cache decay (gated-Vdd) | [`decay::DecayStudy`] |
@@ -48,6 +49,7 @@ pub mod experiments;
 pub mod fitcheck;
 pub mod groups;
 pub mod memsys;
+pub mod mixedtech;
 pub mod plot;
 pub mod report;
 pub mod sensitivity;

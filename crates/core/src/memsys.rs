@@ -101,7 +101,9 @@ impl MemorySystemStudy {
     /// periphery) priced for an AMAT target `t_ref` (leakage energy
     /// integrates over it).
     fn system_spec(&self, t_ref: Seconds) -> HierarchySpec {
-        let m1 = self.stats.l1_miss_rate;
+        // Miss-chain delay weights [1, m1]; bit-identical to the old
+        // hand-passed constants.
+        let weights = HierarchySpec::amat_weights(&[self.stats.l1_miss_rate]);
         let l1_cost = CostKind::Energy {
             t_ref: t_ref.0,
             access_rate: 1.0,
@@ -110,7 +112,7 @@ impl MemorySystemStudy {
         // L2 dynamic energy is paid by demand misses and by L1 dirty
         // writebacks (both per CPU reference); the writeback share of the
         // L2 stream arrives as stores.
-        let l2_rate = m1 + self.stats.l1_writeback_rate;
+        let l2_rate = self.stats.l1_miss_rate + self.stats.l1_writeback_rate;
         let l2_cost = CostKind::Energy {
             t_ref: t_ref.0,
             access_rate: l2_rate,
@@ -121,8 +123,8 @@ impl MemorySystemStudy {
             },
         };
         HierarchySpec::new()
-            .level("L1", self.l1.clone(), Scheme::Split, 1.0, l1_cost)
-            .level("L2", self.l2.clone(), Scheme::Split, m1, l2_cost)
+            .level("L1", self.l1.clone(), Scheme::Split, weights[0], l1_cost)
+            .level("L2", self.l2.clone(), Scheme::Split, weights[1], l2_cost)
     }
 
     /// The knob-independent AMAT floor (`m1·m2·t_mem`).

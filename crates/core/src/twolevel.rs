@@ -303,12 +303,11 @@ impl TwoLevelStudy {
                 knobs: None,
             };
             if budget > 0.0 {
-                let spec = HierarchySpec::single(
-                    l2.clone(),
-                    scheme,
-                    stats.l1_miss_rate,
-                    CostKind::LeakagePower,
-                );
+                // The L2 delay weight is the miss-chain weight of level 1
+                // (weights = [1, m1]); bit-identical to passing m1 by hand.
+                let weights = HierarchySpec::try_amat_weights(&[stats.l1_miss_rate])?;
+                let spec =
+                    HierarchySpec::single(l2.clone(), scheme, weights[1], CostKind::LeakagePower);
                 if let Some(sol) = self.eval.solve(&spec, &Deadline(budget)) {
                     let l2_leak = Watts(sol.cost);
                     row.amat = Some(Seconds(base.0 + sol.delay));
@@ -363,13 +362,20 @@ impl TwoLevelStudy {
                 knobs: None,
             };
             if budget > 0.0 {
+                let weights = HierarchySpec::try_amat_weights(&[stats.l1_miss_rate])?;
                 let spec = HierarchySpec::new()
-                    .level("L1", l1.clone(), Scheme::Split, 1.0, CostKind::LeakagePower)
+                    .level(
+                        "L1",
+                        l1.clone(),
+                        Scheme::Split,
+                        weights[0],
+                        CostKind::LeakagePower,
+                    )
                     .level(
                         "L2",
                         l2.clone(),
                         Scheme::Split,
-                        stats.l1_miss_rate,
+                        weights[1],
                         CostKind::LeakagePower,
                     );
                 if let Some(sol) = self.eval.solve(&spec, &Deadline(budget)) {

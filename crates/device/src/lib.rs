@@ -29,6 +29,9 @@
 //! * [`leakage`] — per-transistor subthreshold / gate / junction leakage.
 //! * [`drive`] — alpha-power on-current, effective resistance, capacitances.
 //! * [`transistor`] — a sized [`Mosfet`] combining the above.
+//! * [`technology`] — the per-level [`DeviceTechnology`] axis (SRAM
+//!   baseline, eDRAM, STT-MRAM) and the [`TechProfile`] handle hierarchy
+//!   specs carry.
 //! * [`fit`] — least-squares fitting of the paper's Eq. 1/Eq. 2 forms plus
 //!   a small dense linear-algebra kernel.
 //!
@@ -62,6 +65,7 @@ pub mod prims;
 pub mod scaling;
 pub mod snm;
 pub mod tech;
+pub mod technology;
 pub mod transistor;
 pub mod units;
 pub mod variation;
@@ -73,6 +77,7 @@ pub use knobs::{KnobGrid, KnobPoint};
 pub use leakage::LeakageBreakdown;
 pub use prims::{HoistedPrims, PointPrims, PrimsTable, ScalarPrims};
 pub use tech::TechnologyNode;
+pub use technology::{DeviceTechnology, Edram, SramBptm65, SttMram, TechProfile};
 pub use transistor::{Mosfet, MosfetKind};
 pub use units::{
     Amperes, Angstroms, Farads, Joules, Kelvin, Meters, Microns, Ohms, Seconds, SquareMicrons,

@@ -21,7 +21,7 @@ use crate::decoder;
 use crate::sram::SramCell;
 use nm_device::leakage::LeakageBreakdown;
 use nm_device::units::{Joules, Seconds, SquareMicrons, Watts};
-use nm_device::{KnobPoint, PointPrims, PrimsTable, TechnologyNode};
+use nm_device::{KnobPoint, PointPrims, PrimsTable, TechProfile, TechnologyNode};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -135,6 +135,7 @@ pub struct CacheCircuit {
     tech: TechnologyNode,
     cell: SramCell,
     org: crate::config::Organization,
+    profile: TechProfile,
 }
 
 impl CacheCircuit {
@@ -146,6 +147,7 @@ impl CacheCircuit {
             tech: tech.clone(),
             cell: SramCell::default_65nm(),
             org: config.organization(),
+            profile: TechProfile::sram(),
         }
     }
 
@@ -156,6 +158,26 @@ impl CacheCircuit {
             tech: tech.clone(),
             cell,
             org: config.organization(),
+            profile: TechProfile::sram(),
+        }
+    }
+
+    /// Binds a configuration to a technology node under a non-SRAM cell
+    /// technology: the periphery (decoder, buses) stays CMOS at `tech`,
+    /// while the memory array's metrics are transformed by `profile`
+    /// (energy/leakage/delay/area scaling plus refresh power). The SRAM
+    /// identity profile reproduces [`new`](Self::new) exactly.
+    pub fn with_technology(
+        config: CacheConfig,
+        tech: &TechnologyNode,
+        profile: TechProfile,
+    ) -> Self {
+        CacheCircuit {
+            config,
+            tech: tech.clone(),
+            cell: SramCell::default_65nm(),
+            org: config.organization(),
+            profile,
         }
     }
 
@@ -182,6 +204,7 @@ impl CacheCircuit {
             tech: tech.clone(),
             cell: SramCell::default_65nm(),
             org,
+            profile: TechProfile::sram(),
         }
     }
 
@@ -205,17 +228,50 @@ impl CacheCircuit {
         &self.cell
     }
 
+    /// The cell-technology profile the memory array is transformed by.
+    pub fn technology(&self) -> &TechProfile {
+        &self.profile
+    }
+
+    /// Maps an SRAM-model metrics record onto this circuit's cell
+    /// technology. Applies to the memory array only — the periphery is
+    /// CMOS regardless of what the cells are made of. The identity
+    /// profile returns `m` untouched (bit-for-bit), which is what keeps
+    /// every all-SRAM study byte-identical to the pre-technology engine.
+    fn apply_profile(&self, id: ComponentId, m: ComponentMetrics) -> ComponentMetrics {
+        if id != ComponentId::MemoryArray || self.profile.is_identity() {
+            return m;
+        }
+        let p = &self.profile;
+        // Refresh is knob-independent static power charged per stored bit;
+        // it lands in the subthreshold bucket (the "cell standby" channel).
+        let refresh = p.refresh_power_per_bit * (self.config.size_bytes() * 8) as f64;
+        ComponentMetrics {
+            delay: m.delay * p.delay_scale,
+            leakage: LeakageBreakdown {
+                subthreshold: m.leakage.subthreshold * p.leakage_scale + refresh,
+                gate: m.leakage.gate * p.leakage_scale,
+                junction: m.leakage.junction * p.leakage_scale,
+            },
+            read_energy: m.read_energy * p.read_energy_scale,
+            write_energy: m.write_energy * p.write_energy_scale,
+            transistors: m.transistors,
+            area: m.area * p.area_scale,
+        }
+    }
+
     /// Analyses a single component under a knob pair. Component metrics
     /// depend only on `(id, knobs)` — the independence the optimisers
     /// rely on.
     pub fn analyze_component(&self, id: ComponentId, knobs: KnobPoint) -> ComponentMetrics {
         let org = self.org;
-        match id {
+        let m = match id {
             ComponentId::MemoryArray => array::analyze(&self.tech, &org, &self.cell, knobs),
             ComponentId::Decoder => decoder::analyze(&self.tech, &org, &self.cell, knobs),
             ComponentId::AddressBus => bus::analyze_address(&self.tech, &org, &self.cell, knobs),
             ComponentId::DataBus => bus::analyze_data(&self.tech, &org, &self.cell, knobs),
-        }
+        };
+        self.apply_profile(id, m)
     }
 
     /// [`analyze_component`](Self::analyze_component) through a primitive
@@ -229,14 +285,15 @@ impl CacheCircuit {
         prims: &P,
     ) -> ComponentMetrics {
         let org = self.org;
-        match id {
+        let m = match id {
             ComponentId::MemoryArray => array::analyze_with(&self.tech, &org, &self.cell, prims),
             ComponentId::Decoder => decoder::analyze_with(&self.tech, &org, &self.cell, prims),
             ComponentId::AddressBus => {
                 bus::analyze_address_with(&self.tech, &org, &self.cell, prims)
             }
             ComponentId::DataBus => bus::analyze_data_with(&self.tech, &org, &self.cell, prims),
-        }
+        };
+        self.apply_profile(id, m)
     }
 
     /// Analyses the whole cache under a component-knob assignment.
@@ -766,6 +823,102 @@ mod tests {
             per[id.index()] = *full.component(id);
         }
         assert_eq!(CacheMetrics::from_components(per), full);
+    }
+
+    #[test]
+    fn identity_profile_is_bitwise_transparent() {
+        let size = 64 * 1024;
+        let tech = TechnologyNode::bptm65();
+        let plain = circuit(size);
+        let explicit = CacheCircuit::with_technology(
+            CacheConfig::new(size, 64, 4).unwrap(),
+            &tech,
+            TechProfile::sram(),
+        );
+        let knobs = ComponentKnobs::split(k(0.45, 13.0), k(0.25, 10.5));
+        assert_eq!(plain.analyze(&knobs), explicit.analyze(&knobs));
+        assert!(plain.technology().is_identity());
+    }
+
+    #[test]
+    fn non_sram_profiles_transform_only_the_array() {
+        let size = 1024 * 1024;
+        let tech = TechnologyNode::bptm65();
+        let sram = circuit(size);
+        let edram = CacheCircuit::with_technology(
+            CacheConfig::new(size, 64, 4).unwrap(),
+            &tech,
+            TechProfile::edram(),
+        );
+        let knobs = ComponentKnobs::default();
+        let s = sram.analyze(&knobs);
+        let e = edram.analyze(&knobs);
+        // Periphery untouched.
+        for id in COMPONENT_IDS.iter().filter(|id| id.is_peripheral()) {
+            assert_eq!(s.component(*id), e.component(*id), "{id} changed");
+        }
+        // Array: slower, denser, lower leakage despite refresh, costlier
+        // per access.
+        let (sa, ea) = (
+            s.component(ComponentId::MemoryArray),
+            e.component(ComponentId::MemoryArray),
+        );
+        assert!(ea.delay.0 > sa.delay.0);
+        assert!(ea.area.0 < sa.area.0);
+        assert!(ea.leakage.total().0 < sa.leakage.total().0);
+        assert!(ea.read_energy.0 > sa.read_energy.0);
+        assert_eq!(ea.transistors, sa.transistors);
+        // Refresh makes the static floor knob-independent: even the
+        // lowest-leakage corner keeps at least the refresh power.
+        let refresh = TechProfile::edram().refresh_power_per_bit.0 * (size * 8) as f64;
+        let low = edram
+            .analyze(&ComponentKnobs::uniform(KnobPoint::lowest_leakage()))
+            .component(ComponentId::MemoryArray)
+            .leakage
+            .total()
+            .0;
+        assert!(
+            low >= refresh,
+            "low corner {low} under refresh floor {refresh}"
+        );
+    }
+
+    #[test]
+    fn mram_write_read_asymmetry_survives_the_transform() {
+        let size = 256 * 1024;
+        let tech = TechnologyNode::bptm65();
+        let mram = CacheCircuit::with_technology(
+            CacheConfig::new(size, 64, 8).unwrap(),
+            &tech,
+            TechProfile::stt_mram(),
+        );
+        let m = mram
+            .analyze(&ComponentKnobs::default())
+            .component(ComponentId::MemoryArray)
+            .to_owned();
+        assert!(
+            m.write_energy.0 / m.read_energy.0 > 2.0,
+            "write/read = {}",
+            m.write_energy.0 / m.read_energy.0
+        );
+    }
+
+    #[test]
+    fn profiled_surfaces_match_pointwise_analysis() {
+        let tech = TechnologyNode::bptm65();
+        let c = CacheCircuit::with_technology(
+            CacheConfig::new(512 * 1024, 64, 8).unwrap(),
+            &tech,
+            TechProfile::stt_mram(),
+        );
+        let points: Vec<KnobPoint> = nm_device::KnobGrid::coarse().points().collect();
+        let surface = c.component_surface(ComponentId::MemoryArray, &points);
+        for &p in points.iter().take(5) {
+            assert_eq!(
+                surface.lookup(p),
+                Some(c.analyze_component(ComponentId::MemoryArray, p))
+            );
+        }
     }
 
     #[test]

@@ -14,10 +14,11 @@ use nm_archsim::{MissRateTable, PairStats};
 use nm_cache_core::amat::MainMemory;
 use nm_cache_core::groups::Scheme;
 use nm_cache_core::memsys::{MemorySystemStudy, TupleCounts};
+use nm_cache_core::mixedtech::MixedTechStudy;
 use nm_cache_core::single::SingleCacheStudy;
 use nm_cache_core::splitl1::SplitL1Study;
 use nm_cache_core::twolevel::{TwoLevelStudy, STANDARD_SUITES};
-use nm_device::{KnobGrid, TechnologyNode};
+use nm_device::{KnobGrid, TechProfile, TechnologyNode};
 use nm_geometry::CacheConfig;
 use std::path::PathBuf;
 
@@ -135,6 +136,25 @@ fn main() {
         "e6_tuple_table.txt",
         memsys
             .tuple_table(&tuples, &memsys.amat_sweep(4))
+            .to_string(),
+    );
+
+    // E8 — three-level mixed-technology comparison. Matches the CLI's
+    // `nmcache e8 --quick` defaults exactly, so CI can diff the two.
+    let mixed = MixedTechStudy::standard(true).expect("standard study builds");
+    write(
+        "e8_mixed_tech.txt",
+        mixed
+            .compare(
+                &[
+                    TechProfile::sram(),
+                    TechProfile::edram(),
+                    TechProfile::stt_mram(),
+                ],
+                0.15,
+            )
+            .expect("all candidates evaluable")
+            .to_table()
             .to_string(),
     );
 }

@@ -28,6 +28,7 @@ COMMANDS:
   decay                Extension: process knobs vs cache decay (gated-Vdd)
   split-l1             Extension: split I$/D$ vs unified L1
   trace-sim            Replay a trace file through an L1/L2 hierarchy
+  e8                   E8: 3-level mixed-technology hierarchy (SRAM/eDRAM/STT-MRAM)
 
 OPTIONS:
   --quick              Shorter architectural simulations (tests/smoke)
@@ -40,6 +41,12 @@ OPTIONS:
   --trace <PATH>       Trace file for trace-sim
   --l1 <KB>            L1 size in KB (default 16)
   --l2 <KB>            L2 size in KB (default 1024)
+  --l1-size <KB>       e8: L1 size in KB (default 16)
+  --l2-size <KB>       e8: L2 size in KB (default 256)
+  --l3-size <KB>       e8: L3 size in KB (default 4096)
+  --l1-tech <NAME>     e8: L1 technology: sram | edram | stt-mram (default sram)
+  --l2-tech <NAME>     e8: L2 technology (default sram)
+  --l3-tech <NAME>     e8: restrict the swept L3 technology to one candidate
   --threads <N>        Worker threads for parallel sweeps
                        (default: NMCACHE_THREADS or all cores)
   --stats              Print per-sweep executor statistics after the run
@@ -87,6 +94,8 @@ pub enum Command {
     SplitL1(Options),
     /// Trace replay.
     TraceSim(Options),
+    /// E8 mixed-technology three-level study.
+    E8(Options),
     /// Experiment registry listing.
     List,
     /// Help requested.
@@ -129,6 +138,13 @@ pub struct Options {
     pub l1_bytes: u64,
     /// L2 size in bytes.
     pub l2_bytes: u64,
+    /// e8: per-level size overrides in bytes (L1, L2, L3); `None` keeps
+    /// the study's standard shape.
+    pub level_sizes: [Option<u64>; 3],
+    /// e8: L1/L2 technology names (`None` = SRAM).
+    pub upstream_techs: [Option<String>; 2],
+    /// e8: restrict the swept L3 technology to this one candidate.
+    pub l3_tech: Option<String>,
     /// Worker-thread override for parallel sweeps (`None` = default).
     pub threads: Option<usize>,
     /// Print per-sweep executor statistics after the run.
@@ -167,6 +183,9 @@ impl Default for Options {
             trace: None,
             l1_bytes: 16 * 1024,
             l2_bytes: 1024 * 1024,
+            level_sizes: [None, None, None],
+            upstream_techs: [None, None],
+            l3_tech: None,
             threads: None,
             stats: false,
             metrics: None,
@@ -268,6 +287,31 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, CliErro
                     .map_err(|_| CliError(format!("bad --l2 value {v:?}")))?;
                 opts.l2_bytes = kb * 1024;
             }
+            "--l1-size" | "--l2-size" | "--l3-size" => {
+                let flag = rest[i].clone();
+                let idx = match flag.as_str() {
+                    "--l1-size" => 0,
+                    "--l2-size" => 1,
+                    _ => 2,
+                };
+                let v = value(&mut i, &flag)?;
+                let kb: u64 = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad {flag} value {v:?}")))?;
+                if kb == 0 {
+                    return Err(CliError(format!("{flag} must be positive")));
+                }
+                opts.level_sizes[idx] = Some(kb * 1024);
+            }
+            "--l1-tech" | "--l2-tech" | "--l3-tech" => {
+                let flag = rest[i].clone();
+                let v = value(&mut i, &flag)?;
+                match flag.as_str() {
+                    "--l1-tech" => opts.upstream_techs[0] = Some(v),
+                    "--l2-tech" => opts.upstream_techs[1] = Some(v),
+                    _ => opts.l3_tech = Some(v),
+                }
+            }
             "--threads" => {
                 let v = value(&mut i, "--threads")?;
                 let n: usize = v
@@ -319,6 +363,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, CliErro
             }
             Command::TraceSim(opts)
         }
+        "e8" => Command::E8(opts),
         other => return Err(CliError(format!("unknown command {other:?}"))),
     };
     Ok(command)
@@ -458,6 +503,32 @@ mod tests {
         assert!(parse_str("schemes --log-level verbose").is_err());
         assert!(parse_str("schemes --metrics").is_err());
         assert!(parse_str("schemes --trace-out").is_err());
+    }
+
+    #[test]
+    fn e8_parses_with_level_knobs() {
+        match parse_str("e8 --quick --l3-tech edram --l2-tech sram --l3-size 8192 --l1-size 32")
+            .unwrap()
+        {
+            Command::E8(o) => {
+                assert!(o.quick);
+                assert_eq!(o.l3_tech.as_deref(), Some("edram"));
+                assert_eq!(o.upstream_techs[0], None);
+                assert_eq!(o.upstream_techs[1].as_deref(), Some("sram"));
+                assert_eq!(o.level_sizes, [Some(32 * 1024), None, Some(8192 * 1024)]);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_str("e8").unwrap() {
+            Command::E8(o) => {
+                assert_eq!(o.level_sizes, [None, None, None]);
+                assert_eq!(o.l3_tech, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_str("e8 --l3-size 0").is_err());
+        assert!(parse_str("e8 --l3-size lots").is_err());
+        assert!(parse_str("e8 --l3-tech").is_err());
     }
 
     #[test]

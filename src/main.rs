@@ -13,6 +13,7 @@ use nmcache::core::decay::DecayStudy;
 use nmcache::core::fitcheck::fit_report;
 use nmcache::core::groups::Scheme;
 use nmcache::core::memsys::{MemorySystemStudy, TupleCounts};
+use nmcache::core::mixedtech::{MixedTechStudy, STANDARD_SIZES};
 use nmcache::core::report::{cell, Series, Table};
 use nmcache::core::single::SingleCacheStudy;
 use nmcache::core::splitl1::SplitL1Study;
@@ -20,7 +21,7 @@ use nmcache::core::thermal::ThermalStudy;
 use nmcache::core::twolevel::{TwoLevelStudy, STANDARD_SUITES};
 use nmcache::core::variation::{paper_16kb_variation, VariationStudy};
 use nmcache::core::StudyError;
-use nmcache::device::{KnobGrid, TechnologyNode};
+use nmcache::device::{KnobGrid, TechProfile, TechnologyNode};
 use std::fmt;
 use std::process::ExitCode;
 
@@ -224,6 +225,7 @@ fn command_name(command: &Command) -> &'static str {
         Command::Decay(_) => "decay",
         Command::SplitL1(_) => "split-l1",
         Command::TraceSim(_) => "trace-sim",
+        Command::E8(_) => "e8",
         Command::List => "list",
         Command::Help => "help",
     }
@@ -244,7 +246,8 @@ fn options_of(command: &Command) -> Option<&Options> {
         | Command::Thermal(o)
         | Command::Decay(o)
         | Command::SplitL1(o)
-        | Command::TraceSim(o) => Some(o),
+        | Command::TraceSim(o)
+        | Command::E8(o) => Some(o),
         Command::List | Command::Help => None,
     }
 }
@@ -505,6 +508,41 @@ fn run(command: Command) -> Result<(), AppError> {
             ]);
             emit(&table, &opts)
         }
+        Command::E8(opts) => {
+            let sizes = [
+                opts.level_sizes[0].unwrap_or(STANDARD_SIZES[0]),
+                opts.level_sizes[1].unwrap_or(STANDARD_SIZES[1]),
+                opts.level_sizes[2].unwrap_or(STANDARD_SIZES[2]),
+            ];
+            let upstream = [
+                tech_of(opts.upstream_techs[0].as_deref())?,
+                tech_of(opts.upstream_techs[1].as_deref())?,
+            ];
+            let candidates: Vec<TechProfile> = match &opts.l3_tech {
+                Some(name) => vec![tech_of(Some(name))?],
+                None => TechProfile::KNOWN_NAMES
+                    .iter()
+                    .map(|n| tech_of(Some(n)))
+                    .collect::<Result<_, _>>()?,
+            };
+            let study = MixedTechStudy::with_shape(opts.quick, sizes, upstream)?;
+            let outcome = study.compare(&candidates, opts.slack)?;
+            emit(&outcome.to_table(), &opts)
+        }
+    }
+}
+
+/// Resolves a `--l<i>-tech` name; `None` means the SRAM baseline.
+fn tech_of(name: Option<&str>) -> Result<TechProfile, AppError> {
+    match name {
+        None => Ok(TechProfile::sram()),
+        Some(n) => TechProfile::by_name(n).ok_or_else(|| {
+            CliError(format!(
+                "unknown technology {n:?} (expected one of {:?})",
+                TechProfile::KNOWN_NAMES
+            ))
+            .into()
+        }),
     }
 }
 
