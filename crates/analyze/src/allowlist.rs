@@ -1,0 +1,172 @@
+//! The fingerprinted per-site exemption file (`analyze.allow`).
+//!
+//! One line per exemption:
+//!
+//! ```text
+//! D2 crates/opt/src/pareto.rs 6b0cdb25fe3a41cc  # justification text
+//! ```
+//!
+//! The fingerprint is an FNV-1a 64 hash of the rule id plus the
+//! *whitespace-normalized source line* the finding sits on. Line numbers
+//! are deliberately not part of the key, so exempted code may move
+//! within its file — but the moment the line's text changes (or the
+//! file is renamed) the entry stops matching and the analyzer reports
+//! it as **stale**, failing the run. Stale entries must be deleted or
+//! re-fingerprinted, which is the point: exemptions never outlive the
+//! code they were written for.
+
+use std::fmt;
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule id (`D1` ... `D6`).
+    pub rule: String,
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// 16-hex-digit FNV-1a 64 fingerprint.
+    pub fingerprint: String,
+    /// The justification following `#`, trimmed ("" when absent).
+    pub justification: String,
+    /// 1-based line in the allowlist file (for stale diagnostics).
+    pub line: u32,
+}
+
+impl fmt::Display for AllowEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.rule, self.path, self.fingerprint)
+    }
+}
+
+/// A malformed allowlist line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowParseError {
+    /// 1-based line number.
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AllowParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "analyze.allow:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AllowParseError {}
+
+/// Parses the allowlist text. Blank lines and `#`-first lines are
+/// comments.
+///
+/// # Errors
+///
+/// Returns the first malformed entry (wrong field count or a
+/// fingerprint that is not 16 hex digits).
+pub fn parse(text: &str) -> Result<Vec<AllowEntry>, AllowParseError> {
+    let mut out = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx as u32 + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (entry, comment) = match line.split_once('#') {
+            Some((e, c)) => (e.trim(), c.trim()),
+            None => (line, ""),
+        };
+        let fields: Vec<&str> = entry.split_whitespace().collect();
+        let [rule, path, fingerprint] = fields[..] else {
+            return Err(AllowParseError {
+                line: line_no,
+                message: format!(
+                    "expected `RULE path fingerprint  # justification`, got {} field(s)",
+                    fields.len()
+                ),
+            });
+        };
+        if fingerprint.len() != 16 || !fingerprint.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(AllowParseError {
+                line: line_no,
+                message: format!("fingerprint {fingerprint:?} is not 16 hex digits"),
+            });
+        }
+        out.push(AllowEntry {
+            rule: rule.to_owned(),
+            path: path.to_owned(),
+            fingerprint: fingerprint.to_ascii_lowercase(),
+            justification: comment.to_owned(),
+            line: line_no,
+        });
+    }
+    Ok(out)
+}
+
+/// The fingerprint of a finding: FNV-1a 64 over the rule id, a NUL, and
+/// the whitespace-normalized source line, rendered as 16 lowercase hex
+/// digits.
+pub fn fingerprint(rule: &str, source_line: &str) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut feed = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    feed(rule.as_bytes());
+    feed(&[0]);
+    let mut last_space = true;
+    for c in source_line.trim().chars() {
+        if c.is_whitespace() {
+            if !last_space {
+                feed(b" ");
+            }
+            last_space = true;
+        } else {
+            let mut buf = [0u8; 4];
+            feed(c.encode_utf8(&mut buf).as_bytes());
+            last_space = false;
+        }
+    }
+    format!("{hash:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_comments_and_justifications() {
+        let text = "\
+# header comment
+
+D2 crates/opt/src/pareto.rs 0123456789abcdef  # first element always kept
+D4 crates/geometry/src/cache.rs fedcba9876543210
+";
+        let entries = parse(text).expect("parses");
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].rule, "D2");
+        assert_eq!(entries[0].justification, "first element always kept");
+        assert_eq!(entries[0].line, 3);
+        assert_eq!(entries[1].justification, "");
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse("D2 only-two-fields").is_err());
+        assert!(parse("D2 path not-hex-not-16").is_err());
+        let err = parse("\n\nbad line here also extra").expect_err("fails");
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn fingerprint_normalizes_whitespace_but_not_content() {
+        let a = fingerprint("D2", "  x.expect(\"lock\")  ;");
+        let b = fingerprint("D2", "x.expect(\"lock\") ;");
+        let c = fingerprint("D2", "x.expect(\"other\");");
+        let d = fingerprint("D1", "x.expect(\"lock\") ;");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+        assert_eq!(a.len(), 16);
+    }
+}

@@ -1,0 +1,557 @@
+//! A hand-rolled Rust lexer good enough for lint-grade analysis.
+//!
+//! Produces a flat token stream with accurate `line:col` spans. It is
+//! string-, char-, raw-string- and comment-aware (nested block comments
+//! included), which is exactly what a lexical rule engine needs: a
+//! `partial_cmp` inside a doc comment or a string literal must never
+//! trigger a diagnostic. It does *not* build a syntax tree — rules match
+//! token patterns plus the test-region map from [`crate::scope`].
+
+/// Where a token starts in its file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column, counted in characters.
+    pub col: u32,
+    /// Byte offset from the start of the file.
+    pub offset: usize,
+}
+
+/// Lexical class of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw `r#ident` forms).
+    Ident,
+    /// Lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// String literal: `"..."`, `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`.
+    Str,
+    /// Character or byte literal: `'x'`, `b'\n'`.
+    Char,
+    /// Numeric literal (integer or float, any base, with suffixes).
+    Num,
+    /// A single punctuation character (`.` `:` `(` `=` ...).
+    Punct,
+}
+
+/// One lexed token: kind, verbatim source text and start position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// The exact source text, including quotes and prefixes for literals.
+    pub text: String,
+    /// Start position.
+    pub span: Span,
+}
+
+impl Token {
+    /// `true` for an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// `true` for a punctuation token with exactly this character.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct
+            && self.text.len() == ch.len_utf8()
+            && self.text.starts_with(ch)
+    }
+
+    /// The content of a string literal with quotes, raw hashes and the
+    /// `b`/`r` prefixes stripped and simple escapes (`\"` `\\` `\n` `\r`
+    /// `\t` `\0`) decoded. Returns `None` for non-string tokens.
+    pub fn str_value(&self) -> Option<String> {
+        if self.kind != TokenKind::Str {
+            return None;
+        }
+        let mut rest = self.text.as_str();
+        rest = rest.strip_prefix('b').unwrap_or(rest);
+        if let Some(raw) = rest.strip_prefix('r') {
+            let hashes = raw.chars().take_while(|&c| c == '#').count();
+            let inner = &raw[hashes..];
+            let inner = inner.strip_prefix('"').unwrap_or(inner);
+            let inner = match inner.len().checked_sub(1 + hashes) {
+                Some(end) if inner.len() > hashes => &inner[..end],
+                _ => inner,
+            };
+            return Some(inner.to_owned());
+        }
+        let inner = rest.strip_prefix('"').unwrap_or(rest);
+        let inner = inner.strip_suffix('"').unwrap_or(inner);
+        let mut out = String::with_capacity(inner.len());
+        let mut chars = inner.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some('0') => out.push('\0'),
+                Some(other) => out.push(other),
+                None => {}
+            }
+        }
+        Some(out)
+    }
+
+    /// `true` for a numeric literal that is a *float*: a decimal point
+    /// with digits, or a decimal exponent, or an explicit `f32`/`f64`
+    /// suffix. Hex/octal/binary literals are never floats.
+    pub fn is_float_literal(&self) -> bool {
+        if self.kind != TokenKind::Num {
+            return false;
+        }
+        let t = &self.text;
+        if t.starts_with("0x") || t.starts_with("0o") || t.starts_with("0b") {
+            return false;
+        }
+        t.contains('.')
+            || t.ends_with("f32")
+            || t.ends_with("f64")
+            || t.bytes().any(|b| b == b'e' || b == b'E')
+    }
+}
+
+/// Cursor over the source with line/column bookkeeping.
+struct Cursor<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    offset: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            src,
+            bytes: src.as_bytes(),
+            offset: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.offset..].chars().next()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        let mut it = self.src[self.offset..].chars();
+        it.next();
+        it.next()
+    }
+
+    fn peek3(&self) -> Option<char> {
+        let mut it = self.src[self.offset..].chars();
+        it.next();
+        it.next();
+        it.next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.offset += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn span(&self) -> Span {
+        Span {
+            line: self.line,
+            col: self.col,
+            offset: self.offset,
+        }
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.offset..].starts_with(s.as_bytes())
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into a token stream, skipping whitespace and comments.
+///
+/// The lexer never fails: malformed input (an unterminated string, a
+/// stray byte) degrades to best-effort tokens so the analyzer can still
+/// report on the rest of the file.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek() {
+        // Whitespace.
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        // Line comments (`//`, `///`, `//!`).
+        if cur.starts_with("//") {
+            while let Some(c) = cur.peek() {
+                if c == '\n' {
+                    break;
+                }
+                cur.bump();
+            }
+            continue;
+        }
+        // Block comments, nested.
+        if cur.starts_with("/*") {
+            cur.bump();
+            cur.bump();
+            let mut depth = 1u32;
+            while depth > 0 {
+                if cur.starts_with("/*") {
+                    cur.bump();
+                    cur.bump();
+                    depth += 1;
+                } else if cur.starts_with("*/") {
+                    cur.bump();
+                    cur.bump();
+                    depth -= 1;
+                } else if cur.bump().is_none() {
+                    break;
+                }
+            }
+            continue;
+        }
+        let span = cur.span();
+        // Raw strings and raw identifiers: r"..." r#"..."# r#ident.
+        if c == 'r' && matches!(cur.peek2(), Some('"' | '#')) {
+            if let Some(tok) = lex_raw_string(&mut cur, span, "r") {
+                out.push(tok);
+                continue;
+            }
+            // `r#ident` raw identifier: fall through to ident lexing.
+        }
+        // Byte strings / byte chars: b"..." br"..." b'x'.
+        if c == 'b' {
+            let next = cur.peek2();
+            if next == Some('"') {
+                cur.bump();
+                let mut text = String::from("b");
+                text.push_str(&lex_quoted(&mut cur, '"'));
+                out.push(Token {
+                    kind: TokenKind::Str,
+                    text,
+                    span,
+                });
+                continue;
+            }
+            if next == Some('r') && matches!(cur.peek3(), Some('"' | '#')) {
+                cur.bump();
+                if let Some(mut tok) = lex_raw_string(&mut cur, span, "br") {
+                    tok.text.insert(0, 'b');
+                    out.push(tok);
+                    continue;
+                }
+            }
+            if next == Some('\'') {
+                cur.bump();
+                let mut text = String::from("b");
+                text.push_str(&lex_quoted(&mut cur, '\''));
+                out.push(Token {
+                    kind: TokenKind::Char,
+                    text,
+                    span,
+                });
+                continue;
+            }
+        }
+        // Identifiers and keywords (including `r#ident` handled above).
+        if is_ident_start(c) {
+            let mut text = String::new();
+            while let Some(c) = cur.peek() {
+                if is_ident_continue(c) {
+                    text.push(c);
+                    cur.bump();
+                } else if c == '#' && text == "r" {
+                    // Raw identifier `r#type`: keep lexing the name.
+                    text.push(c);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            out.push(Token {
+                kind: TokenKind::Ident,
+                text,
+                span,
+            });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let mut text = String::new();
+            let mut prev = '0';
+            while let Some(c) = cur.peek() {
+                let take = if c.is_ascii_alphanumeric() || c == '_' {
+                    true
+                } else if c == '.' {
+                    // Accept the dot only for `1.5`, not for ranges
+                    // (`0..n`) or method calls on literals (`1.max(x)`).
+                    !text.contains('.') && matches!(cur.peek2(), Some(d) if d.is_ascii_digit())
+                } else {
+                    // Exponent signs: `1e-3`, `2.5E+10`.
+                    (c == '+' || c == '-') && matches!(prev, 'e' | 'E') && !text.starts_with("0x")
+                };
+                if !take {
+                    break;
+                }
+                text.push(c);
+                prev = c;
+                cur.bump();
+            }
+            out.push(Token {
+                kind: TokenKind::Num,
+                text,
+                span,
+            });
+            continue;
+        }
+        // Strings.
+        if c == '"' {
+            let text = lex_quoted(&mut cur, '"');
+            out.push(Token {
+                kind: TokenKind::Str,
+                text,
+                span,
+            });
+            continue;
+        }
+        // Lifetimes vs char literals.
+        if c == '\'' {
+            let looks_like_lifetime =
+                matches!(cur.peek2(), Some(c2) if is_ident_start(c2)) && cur.peek3() != Some('\'');
+            if looks_like_lifetime {
+                let mut text = String::new();
+                text.push(c);
+                cur.bump();
+                while let Some(c) = cur.peek() {
+                    if is_ident_continue(c) {
+                        text.push(c);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token {
+                    kind: TokenKind::Lifetime,
+                    text,
+                    span,
+                });
+            } else {
+                let text = lex_quoted(&mut cur, '\'');
+                out.push(Token {
+                    kind: TokenKind::Char,
+                    text,
+                    span,
+                });
+            }
+            continue;
+        }
+        // Everything else: single-character punctuation.
+        cur.bump();
+        out.push(Token {
+            kind: TokenKind::Punct,
+            text: c.to_string(),
+            span,
+        });
+    }
+    out
+}
+
+/// Lexes a quoted literal starting at the opening quote, handling
+/// backslash escapes. Returns the verbatim text including quotes.
+fn lex_quoted(cur: &mut Cursor<'_>, quote: char) -> String {
+    let mut text = String::new();
+    text.push(quote);
+    cur.bump();
+    while let Some(c) = cur.peek() {
+        if c == '\\' {
+            text.push(c);
+            cur.bump();
+            if let Some(escaped) = cur.bump() {
+                text.push(escaped);
+            }
+            continue;
+        }
+        text.push(c);
+        cur.bump();
+        if c == quote {
+            break;
+        }
+    }
+    text
+}
+
+/// Lexes a raw string starting at the `r` (already peeked, not yet
+/// consumed). Returns `None` when this is actually a raw identifier
+/// (`r#ident`), leaving the cursor untouched.
+fn lex_raw_string(cur: &mut Cursor<'_>, _span: Span, _prefix: &str) -> Option<Token> {
+    // Look ahead: r, then zero or more '#', then '"'. Anything else is
+    // not a raw string.
+    let rest = &cur.src[cur.offset..];
+    let after_r = rest.strip_prefix('r')?;
+    let hashes = after_r.chars().take_while(|&c| c == '#').count();
+    let after_hashes = &after_r[hashes..];
+    if !after_hashes.starts_with('"') {
+        return None;
+    }
+    let span = cur.span();
+    let mut text = String::from("r");
+    cur.bump(); // r
+    for _ in 0..hashes {
+        text.push('#');
+        cur.bump();
+    }
+    text.push('"');
+    cur.bump(); // opening quote
+    let closer: String = std::iter::once('"')
+        .chain(std::iter::repeat_n('#', hashes))
+        .collect();
+    loop {
+        if cur.starts_with(&closer) {
+            for _ in 0..closer.chars().count() {
+                if let Some(c) = cur.bump() {
+                    text.push(c);
+                }
+            }
+            break;
+        }
+        match cur.bump() {
+            Some(c) => text.push(c),
+            None => break,
+        }
+    }
+    Some(Token {
+        kind: TokenKind::Str,
+        text,
+        span,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_their_contents() {
+        let toks = kinds("a // partial_cmp\n/* unwrap() /* nested */ */ b \"panic!\" 'c'");
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, ["a", "b"]);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t == "\"panic!\""));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Char && t == "'c'"));
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let toks = kinds(r####"r#"raw "quoted" unwrap()"# r#type b"bytes" br##"x"##"####);
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert!(toks[0].1.starts_with("r#\""));
+        assert_eq!(toks[1], (TokenKind::Ident, "r#type".into()));
+        assert_eq!(toks[2].0, TokenKind::Str);
+        assert_eq!(toks[2].1, "b\"bytes\"");
+        assert_eq!(toks[3].0, TokenKind::Str);
+        assert_eq!(toks[3].1, "br##\"x\"##");
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let toks = kinds("&'a str 'x' '\\n' 'static");
+        assert_eq!(toks[1], (TokenKind::Lifetime, "'a".into()));
+        assert_eq!(toks[3], (TokenKind::Char, "'x'".into()));
+        assert_eq!(toks[4], (TokenKind::Char, "'\\n'".into()));
+        assert_eq!(toks[5], (TokenKind::Lifetime, "'static".into()));
+    }
+
+    #[test]
+    fn numbers_ranges_and_floats() {
+        let toks = kinds("0..n 1.5 1e-3 0xAE 2.5E+10 1_000 3f64");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Num)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(
+            nums,
+            ["0", "1.5", "1e-3", "0xAE", "2.5E+10", "1_000", "3f64"]
+        );
+        let lexed = lex("0..n 1.5 1e-3 0xAE");
+        assert!(!lexed[0].is_float_literal());
+        assert!(lexed
+            .iter()
+            .any(|t| t.text == "1.5" && t.is_float_literal()));
+        assert!(lexed
+            .iter()
+            .any(|t| t.text == "1e-3" && t.is_float_literal()));
+        assert!(lexed
+            .iter()
+            .all(|t| !(t.text == "0xAE" && t.is_float_literal())));
+    }
+
+    #[test]
+    fn spans_point_at_the_right_place() {
+        let toks = lex("ab\n  cd");
+        assert_eq!(
+            toks[0].span,
+            Span {
+                line: 1,
+                col: 1,
+                offset: 0
+            }
+        );
+        assert_eq!(
+            toks[1].span,
+            Span {
+                line: 2,
+                col: 3,
+                offset: 5
+            }
+        );
+    }
+
+    #[test]
+    fn str_value_strips_quotes_and_decodes() {
+        let toks = lex(r#""a\nb" r"raw\n" "trace.records""#);
+        assert_eq!(toks[0].str_value().as_deref(), Some("a\nb"));
+        assert_eq!(toks[1].str_value().as_deref(), Some("raw\\n"));
+        assert_eq!(toks[2].str_value().as_deref(), Some("trace.records"));
+    }
+
+    #[test]
+    fn method_call_on_float_literal_keeps_the_dot_out() {
+        let toks = kinds("1.max(x) 2.0.sqrt()");
+        assert_eq!(toks[0], (TokenKind::Num, "1".into()));
+        assert_eq!(toks[1], (TokenKind::Punct, ".".into()));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Num && t == "2.0"));
+    }
+}

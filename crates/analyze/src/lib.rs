@@ -1,0 +1,277 @@
+//! # nm-analyze — workspace-wide determinism & safety lint engine
+//!
+//! The reproduction's credibility rests on invariants the compiler
+//! cannot see: byte-identical golden tables for any worker count,
+//! NaN-safe `total_cmp` ordering in every Pareto merge, panic-freedom in
+//! library crates, all parallelism routed through the bounded
+//! `ParallelSweep` executor, and telemetry names that never silently
+//! fork a time series. This crate makes those invariants machine-checked
+//! before merge.
+//!
+//! It is a **zero-dependency static-analysis pass** over the workspace
+//! source: a hand-rolled Rust lexer ([`lexer`]) produces a token stream
+//! with accurate `file:line:col` spans (string-, char- and
+//! comment-aware); [`scope`] classifies files and masks `#[cfg(test)]`
+//! regions; [`rules`] implements the D1–D6 ruleset; [`allowlist`] grants
+//! fingerprinted per-site exemptions that go stale loudly when the code
+//! they exempt changes.
+//!
+//! The CLI surface is `nmcache analyze [--json <path>] [--rules <ids>]`,
+//! mapping findings to the documented exit-code discipline (0 clean /
+//! 3 findings / 2 usage). The JSON report is rendered through the
+//! `nm-telemetry` report writer, so its schema conventions
+//! (`schema_version`, `generator`, stable key order) match every other
+//! machine-readable artifact in the workspace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allowlist;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod scope;
+
+use allowlist::AllowEntry;
+use rules::{Finding, ManifestState, RuleId};
+use scope::SourceFile;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// What to analyze and against which side files.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Workspace root; paths in diagnostics are relative to it.
+    pub root: PathBuf,
+    /// Rules to run (defaults to all six).
+    pub rules: Vec<RuleId>,
+    /// Telemetry-name manifest, relative to `root` when not absolute.
+    pub manifest_path: PathBuf,
+    /// Allowlist file, relative to `root` when not absolute.
+    pub allow_path: PathBuf,
+}
+
+impl Config {
+    /// The standard configuration for a workspace root: all rules,
+    /// `telemetry_names.txt` and `analyze.allow` at the root.
+    pub fn for_root(root: impl Into<PathBuf>) -> Self {
+        Config {
+            root: root.into(),
+            rules: RuleId::ALL.to_vec(),
+            manifest_path: PathBuf::from("telemetry_names.txt"),
+            allow_path: PathBuf::from("analyze.allow"),
+        }
+    }
+
+    fn resolve(&self, p: &Path) -> PathBuf {
+        if p.is_absolute() {
+            p.to_owned()
+        } else {
+            self.root.join(p)
+        }
+    }
+}
+
+/// The outcome of an analysis run.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// Unsuppressed findings, sorted by (path, line, col, rule).
+    pub findings: Vec<Finding>,
+    /// Allowlist entries that matched nothing — failures in their own
+    /// right: the code they exempted moved or changed.
+    pub stale: Vec<AllowEntry>,
+    /// How many findings an allowlist entry suppressed.
+    pub allowlisted: usize,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// The rules that ran.
+    pub rules: Vec<RuleId>,
+}
+
+impl Analysis {
+    /// `true` when there is nothing to report: no findings and no stale
+    /// allowlist entries.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty() && self.stale.is_empty()
+    }
+
+    /// Finding counts per rule (zero-filled for every rule that ran).
+    pub fn counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut map: BTreeMap<&'static str, usize> =
+            self.rules.iter().map(|r| (r.as_str(), 0)).collect();
+        for f in &self.findings {
+            *map.entry(f.rule.as_str()).or_insert(0) += 1;
+        }
+        map
+    }
+}
+
+/// A failure to run the analysis at all (as opposed to findings).
+#[derive(Debug)]
+pub enum AnalyzeError {
+    /// Reading a source file, the manifest or the allowlist failed.
+    Io {
+        /// The file that failed.
+        path: PathBuf,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// The allowlist file is malformed.
+    Allow(allowlist::AllowParseError),
+}
+
+impl fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyzeError::Io { path, source } => {
+                write!(f, "analyze: {}: {source}", path.display())
+            }
+            AnalyzeError::Allow(e) => write!(f, "analyze: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
+
+impl AnalyzeError {
+    /// `true` when the failure is an I/O problem (CLI exit 5) rather
+    /// than a malformed side file (CLI exit 2).
+    pub fn is_io(&self) -> bool {
+        matches!(self, AnalyzeError::Io { .. })
+    }
+}
+
+/// Directories the walker never descends into.
+const SKIP_DIRS: [&str; 4] = ["target", "shims", ".git", "tests"];
+
+/// Collects every `.rs` file under `root` (skipping `target/`, vendored
+/// `shims/`, `tests/` directories and VCS internals), sorted by relative
+/// path for deterministic reports.
+fn collect_sources(root: &Path) -> Result<Vec<(String, PathBuf)>, AnalyzeError> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_owned()];
+    while let Some(dir) = stack.pop() {
+        let entries = std::fs::read_dir(&dir).map_err(|source| AnalyzeError::Io {
+            path: dir.clone(),
+            source,
+        })?;
+        for entry in entries {
+            let entry = entry.map_err(|source| AnalyzeError::Io {
+                path: dir.clone(),
+                source,
+            })?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                out.push((rel, path));
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Runs the configured rules over the workspace.
+///
+/// # Errors
+///
+/// [`AnalyzeError`] when a file cannot be read or the allowlist cannot
+/// be parsed. Findings are *not* errors — they come back in the
+/// [`Analysis`].
+pub fn analyze(config: &Config) -> Result<Analysis, AnalyzeError> {
+    let manifest_file = config.resolve(&config.manifest_path);
+    let manifest_rel = rel_display(&config.manifest_path);
+    let mut manifest = if config.rules.contains(&RuleId::D6) {
+        let text = std::fs::read_to_string(&manifest_file).map_err(|source| AnalyzeError::Io {
+            path: manifest_file.clone(),
+            source,
+        })?;
+        ManifestState::parse(&text)
+    } else {
+        ManifestState::default()
+    };
+
+    let allow_file = config.resolve(&config.allow_path);
+    let allow_entries = match std::fs::read_to_string(&allow_file) {
+        Ok(text) => allowlist::parse(&text).map_err(AnalyzeError::Allow)?,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(source) => {
+            return Err(AnalyzeError::Io {
+                path: allow_file,
+                source,
+            })
+        }
+    };
+
+    let sources = collect_sources(&config.root)?;
+    let files_scanned = sources.len();
+    let mut raw: Vec<Finding> = Vec::new();
+    for (rel, path) in &sources {
+        let text = std::fs::read_to_string(path).map_err(|source| AnalyzeError::Io {
+            path: path.clone(),
+            source,
+        })?;
+        let file = SourceFile::parse(rel, &text);
+        raw.extend(rules::scan_file(&file, &config.rules, &mut manifest));
+    }
+    if config.rules.contains(&RuleId::D6) {
+        raw.extend(manifest.dead_entries(&manifest_rel));
+    }
+
+    // Apply the allowlist: a finding is suppressed when an entry matches
+    // its (rule, path, fingerprint); entries that suppress nothing are
+    // stale and reported as failures.
+    let mut matched = vec![0usize; allow_entries.len()];
+    let mut findings = Vec::new();
+    let mut allowlisted = 0usize;
+    for f in raw {
+        let hit = allow_entries.iter().position(|e| {
+            e.rule == f.rule.as_str() && e.path == f.path && e.fingerprint == f.fingerprint
+        });
+        match hit {
+            Some(i) => {
+                matched[i] += 1;
+                allowlisted += 1;
+            }
+            None => findings.push(f),
+        }
+    }
+    let stale: Vec<AllowEntry> = allow_entries
+        .iter()
+        .zip(&matched)
+        .filter(|(_, &n)| n == 0)
+        .map(|(e, _)| e.clone())
+        .collect();
+
+    findings
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    Ok(Analysis {
+        findings,
+        stale,
+        allowlisted,
+        files_scanned,
+        rules: config.rules.clone(),
+    })
+}
+
+/// A workspace-relative path as a forward-slash string.
+fn rel_display(p: &Path) -> String {
+    p.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}

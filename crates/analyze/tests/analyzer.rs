@@ -1,0 +1,106 @@
+//! Integration tests over the on-disk fixture workspace in
+//! `tests/fixtures/ws`: every rule proven live against real files, the
+//! text report pinned to a golden snapshot, and the allowlist's
+//! suppress / stale / malformed behaviours exercised end to end.
+
+use nm_analyze::{analyze, report, rules::RuleId, AnalyzeError, Config};
+use std::path::PathBuf;
+
+fn fixtures_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn fixture_config() -> Config {
+    Config::for_root(fixtures_dir().join("ws"))
+}
+
+#[test]
+fn every_rule_fires_on_the_fixture_workspace() {
+    let analysis = analyze(&fixture_config()).expect("fixture workspace analyzes");
+    assert!(!analysis.is_clean());
+    assert_eq!(analysis.files_scanned, 2);
+    let counts = analysis.counts();
+    assert_eq!(counts["D1"], 2, "partial_cmp + float-literal equality");
+    assert_eq!(counts["D2"], 2, "panic! + .unwrap()");
+    assert_eq!(counts["D3"], 1, "Instant::now");
+    assert_eq!(counts["D4"], 3, "three HashMap mentions");
+    assert_eq!(counts["D5"], 1, "thread::spawn");
+    assert_eq!(
+        counts["D6"], 3,
+        "typo'd literal + typo'd const + dead manifest entry"
+    );
+    // The #[cfg(test)] unwrap in the fixture must not be among them.
+    assert!(analysis
+        .findings
+        .iter()
+        .all(|f| !(f.rule == RuleId::D2 && f.line > 43)));
+}
+
+#[test]
+fn text_report_matches_the_golden_snapshot() {
+    let analysis = analyze(&fixture_config()).expect("fixture workspace analyzes");
+    let expected = include_str!("fixtures/ws_expected.txt");
+    assert_eq!(report::render_text(&analysis), expected);
+}
+
+#[test]
+fn json_report_carries_schema_and_findings() {
+    let analysis = analyze(&fixture_config()).expect("fixture workspace analyzes");
+    let json = report::render_json(&analysis);
+    assert!(json.contains("\"schema_version\""));
+    assert!(json.contains("nm-analyze"));
+    assert!(json.contains("demo.typo"));
+    assert!(json.contains("demo.dead"));
+    assert!(json.contains("\"fingerprint\""));
+}
+
+#[test]
+fn allowlist_suppresses_exactly_its_fingerprints() {
+    let mut config = fixture_config();
+    config.allow_path = fixtures_dir().join("suppress.allow");
+    let analysis = analyze(&config).expect("fixture workspace analyzes");
+    assert_eq!(analysis.allowlisted, 2);
+    assert!(analysis.stale.is_empty());
+    assert_eq!(analysis.counts()["D2"], 0, "both D2 sites suppressed");
+    assert_eq!(analysis.findings.len(), 10);
+}
+
+#[test]
+fn stale_allowlist_entries_fail_the_run() {
+    let mut config = fixture_config();
+    config.allow_path = fixtures_dir().join("stale.allow");
+    let analysis = analyze(&config).expect("fixture workspace analyzes");
+    assert_eq!(analysis.stale.len(), 1);
+    assert_eq!(analysis.stale[0].fingerprint, "0000000000000000");
+    assert!(!analysis.is_clean());
+    // Stale entries surface in the rendered report too.
+    assert!(report::render_text(&analysis).contains("stale entry"));
+}
+
+#[test]
+fn malformed_allowlist_is_a_usage_error_not_io() {
+    let mut config = fixture_config();
+    config.allow_path = fixtures_dir().join("bad.allow");
+    let err = analyze(&config).expect_err("malformed allowlist fails");
+    assert!(matches!(err, AnalyzeError::Allow(_)));
+    assert!(!err.is_io());
+}
+
+#[test]
+fn missing_manifest_is_an_io_error() {
+    let mut config = fixture_config();
+    config.manifest_path = PathBuf::from("no_such_manifest.txt");
+    let err = analyze(&config).expect_err("missing manifest fails");
+    assert!(err.is_io());
+}
+
+#[test]
+fn rule_selection_skips_the_manifest_entirely() {
+    // With D6 disabled the manifest is never read, so a bogus path is fine.
+    let mut config = fixture_config();
+    config.rules = vec![RuleId::D4];
+    config.manifest_path = PathBuf::from("no_such_manifest.txt");
+    let analysis = analyze(&config).expect("D4-only run analyzes");
+    assert_eq!(analysis.findings.len(), 3);
+    assert!(analysis.findings.iter().all(|f| f.rule == RuleId::D4));
+}

@@ -1,0 +1,52 @@
+//! Lint-fixture crate: each function below violates one rule so the
+//! integration tests can prove every rule fires on real on-disk files.
+//! These sources are lexed by nm-analyze, never compiled.
+
+use std::collections::HashMap;
+use std::thread;
+
+pub fn d1_partial(a: f64, b: f64) -> bool {
+    a.partial_cmp(&b).is_some()
+}
+
+pub fn d1_literal(x: f64) -> bool {
+    x == 0.5
+}
+
+pub fn d2_panics(o: Option<u32>) -> u32 {
+    match o {
+        Some(v) => v,
+        None => panic!("boom"),
+    }
+}
+
+pub fn d2_unwraps(o: Option<u32>) -> u32 {
+    o.unwrap()
+}
+
+pub fn d3_reads_the_clock() -> f64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_secs_f64()
+}
+
+pub fn d4_hash_map() -> HashMap<u32, u32> {
+    HashMap::new()
+}
+
+pub fn d5_spawns() {
+    thread::spawn(|| {});
+}
+
+pub fn d6_names() {
+    nm_telemetry::counter_inc("demo.used");
+    nm_telemetry::counter_inc("demo.typo");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn masked_violations_stay_silent() {
+        let o: Option<u32> = None;
+        o.unwrap();
+    }
+}

@@ -1,0 +1,6 @@
+//! Fixture names module: one const in the manifest, one typo'd.
+
+/// Present in the fixture manifest.
+pub const USED: &str = "demo.const_used";
+/// Absent from the fixture manifest — must fire D6.
+pub const TYPO: &str = "demo.const_typo";

@@ -1,0 +1,140 @@
+//! Property tests for the hand-rolled lexer, run over a real corpus:
+//! the analyzer's own sources. Three invariants every rule depends on:
+//!
+//! 1. **Span accuracy** — each token's `offset` points at its exact
+//!    verbatim text in the source, and `line`/`col` agree with a
+//!    character count from the start of the file.
+//! 2. **Span monotonicity** — tokens come back in strictly increasing
+//!    source order (rules do `prev_tok`/`get(i + 1)` arithmetic on it).
+//! 3. **Re-lex stability** — joining the token texts with single spaces
+//!    and lexing again reproduces the same (kind, text) sequence, so no
+//!    token's meaning leaks into its neighbours' whitespace.
+
+use nm_analyze::lexer::{lex, TokenKind};
+use std::fs;
+use std::path::PathBuf;
+
+fn corpus() -> Vec<(String, String)> {
+    let src_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("src");
+    let mut files: Vec<(String, String)> = fs::read_dir(&src_dir)
+        .expect("analyzer src dir exists")
+        .filter_map(|e| {
+            let path = e.expect("dir entry").path();
+            let name = path.file_name()?.to_string_lossy().into_owned();
+            if !name.ends_with(".rs") {
+                return None;
+            }
+            Some((name, fs::read_to_string(&path).expect("corpus file reads")))
+        })
+        .collect();
+    files.sort();
+    assert!(files.len() >= 5, "corpus should cover the whole crate");
+    files
+}
+
+#[test]
+fn spans_are_accurate_and_strictly_monotonic() {
+    for (name, src) in corpus() {
+        let toks = lex(&src);
+        assert!(!toks.is_empty(), "{name}: corpus file lexes to tokens");
+        let mut prev_end = 0usize;
+        for t in &toks {
+            let start = t.span.offset;
+            let end = start + t.text.len();
+            assert!(
+                start >= prev_end,
+                "{name}: token {:?} at offset {start} overlaps its predecessor",
+                t.text
+            );
+            assert_eq!(
+                &src[start..end],
+                t.text,
+                "{name}: token text disagrees with the source at offset {start}"
+            );
+            let line = 1 + src[..start].bytes().filter(|&b| b == b'\n').count() as u32;
+            assert_eq!(t.span.line, line, "{name}: line of {:?}", t.text);
+            let line_start = src[..start].rfind('\n').map(|i| i + 1).unwrap_or(0);
+            let col = 1 + src[line_start..start].chars().count() as u32;
+            assert_eq!(t.span.col, col, "{name}: col of {:?}", t.text);
+            prev_end = end;
+        }
+    }
+}
+
+#[test]
+fn relexing_space_joined_tokens_is_stable() {
+    for (name, src) in corpus() {
+        let toks = lex(&src);
+        let joined = toks
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect::<Vec<_>>()
+            .join(" ");
+        let again = lex(&joined);
+        assert_eq!(
+            toks.len(),
+            again.len(),
+            "{name}: token count changed on re-lex"
+        );
+        for (a, b) in toks.iter().zip(&again) {
+            assert_eq!(
+                a.kind, b.kind,
+                "{name}: kind of {:?} changed on re-lex",
+                a.text
+            );
+            assert_eq!(a.text, b.text, "{name}: text changed on re-lex");
+        }
+    }
+}
+
+#[test]
+fn lexing_is_deterministic() {
+    for (name, src) in corpus() {
+        assert_eq!(lex(&src), lex(&src), "{name}: two lexes disagree");
+    }
+}
+
+#[test]
+fn malformed_input_degrades_without_panicking() {
+    // The lexer promises best-effort tokens, never a panic.
+    for src in [
+        "\"unterminated",
+        "r#\"unterminated raw",
+        "/* unterminated /* nested",
+        "'",
+        "b\"",
+        "1e",
+        "\u{1F980} emoji idents?",
+    ] {
+        let toks = lex(src);
+        // Whatever came back still satisfies span accuracy.
+        for t in &toks {
+            let start = t.span.offset;
+            assert!(start <= src.len());
+        }
+    }
+    assert!(lex("").is_empty());
+}
+
+#[test]
+fn token_kinds_cover_the_corpus() {
+    // Sanity: the corpus exercises every token class the rules rely on.
+    let mut seen = [false; 6];
+    for (_, src) in corpus() {
+        for t in lex(&src) {
+            let i = match t.kind {
+                TokenKind::Ident => 0,
+                TokenKind::Lifetime => 1,
+                TokenKind::Str => 2,
+                TokenKind::Char => 3,
+                TokenKind::Num => 4,
+                TokenKind::Punct => 5,
+            };
+            seen[i] = true;
+        }
+    }
+    assert!(
+        seen.iter().all(|&s| s),
+        "corpus misses a token kind: {seen:?}"
+    );
+}

@@ -268,6 +268,7 @@ pub struct TwoLevel {
 
 impl TwoLevel {
     /// Builds a cold hierarchy with a shared replacement policy.
+    #[allow(clippy::expect_used)] // fingerprinted in analyze.allow: two levels are non-zero
     pub fn new(l1: CacheParams, l2: CacheParams, policy: Replacement) -> Self {
         TwoLevel {
             inner: MultiLevel::new(vec![l1, l2], policy).expect("two levels are not zero"),

@@ -44,6 +44,7 @@ pub mod cache;
 pub mod decay;
 pub mod hierarchy;
 pub mod missrates;
+pub mod names;
 pub mod splitl1;
 pub mod stats;
 pub mod trace;

@@ -152,24 +152,49 @@ impl MissRateTable {
         warmup: u64,
         measure: u64,
     ) -> Self {
+        // Validate the grid up front, naming the offending level and
+        // size, before delegating to the fallible path.
+        for &b in l1_sizes {
+            if let Err(e) = CacheParams::new(b, 64, 4) {
+                panic!("illegal L1 size {b} B: {e}");
+            }
+        }
+        for &b in l2_sizes {
+            if let Err(e) = CacheParams::new(b, 64, 8) {
+                panic!("illegal L2 size {b} B: {e}");
+            }
+        }
+        match Self::try_build(l1_sizes, l2_sizes, suites, seed, warmup, measure) {
+            Ok(table) => table,
+            Err(e) => panic!("illegal cache size in miss-rate grid: {e}"),
+        }
+    }
+
+    /// Fallible [`build`](Self::build): rejects an illegal L1/L2 size
+    /// with a typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// The first [`SimError`] from validating the size grid, in L1-then-L2
+    /// order.
+    pub fn try_build(
+        l1_sizes: &[u64],
+        l2_sizes: &[u64],
+        suites: &[SuiteKind],
+        seed: u64,
+        warmup: u64,
+        measure: u64,
+    ) -> Result<Self, SimError> {
         // Validate the whole grid up front so an illegal size fails fast
         // with its value, instead of surfacing as a worker-thread panic.
         let l1_params: Vec<(u64, CacheParams)> = l1_sizes
             .iter()
-            .map(|&b| {
-                let p = CacheParams::new(b, 64, 4)
-                    .unwrap_or_else(|e| panic!("illegal L1 size {b} B: {e}"));
-                (b, p)
-            })
-            .collect();
+            .map(|&b| CacheParams::new(b, 64, 4).map(|p| (b, p)))
+            .collect::<Result<_, _>>()?;
         let l2_params: Vec<(u64, CacheParams)> = l2_sizes
             .iter()
-            .map(|&b| {
-                let p = CacheParams::new(b, 64, 8)
-                    .unwrap_or_else(|e| panic!("illegal L2 size {b} B: {e}"));
-                (b, p)
-            })
-            .collect();
+            .map(|&b| CacheParams::new(b, 64, 8).map(|p| (b, p)))
+            .collect::<Result<_, _>>()?;
         let pairs: Vec<((u64, CacheParams), (u64, CacheParams))> = l1_params
             .iter()
             .flat_map(|&l1| l2_params.iter().map(move |&l2| (l1, l2)))
@@ -203,10 +228,10 @@ impl MissRateTable {
             },
         );
 
-        MissRateTable {
+        Ok(MissRateTable {
             entries: results.into_iter().collect(),
             suites: suites.iter().map(|s| s.name().to_owned()).collect(),
-        }
+        })
     }
 
     /// Looks up the stats for an exact (L1, L2) byte-size pair.

@@ -1,0 +1,14 @@
+//! Telemetry names emitted by the architectural simulator.
+//!
+//! Every fixed metric name this crate records lives here as a `pub
+//! const`, and each one must also appear in the workspace-root
+//! `telemetry_names.txt` manifest — the D6 static-analysis rule
+//! (`nmcache analyze`) checks both directions, so a typo'd literal can
+//! never silently fork a time series.
+
+/// Span: one text-trace parse.
+pub const TRACE_READ: &str = "trace.read";
+/// Span: one binary-trace parse.
+pub const TRACE_READ_BINARY: &str = "trace.read_binary";
+/// Counter: access records parsed from traces.
+pub const TRACE_RECORDS: &str = "trace.records";

@@ -6,7 +6,7 @@
 use crate::access::Access;
 use crate::workload::Workload;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Footprint summary of a reference window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -51,7 +51,7 @@ pub fn working_set(
         block_bytes.is_power_of_two(),
         "block size must be a power of two, got {block_bytes}"
     );
-    let mut blocks: HashSet<u64> = HashSet::new();
+    let mut blocks: BTreeSet<u64> = BTreeSet::new();
     for _ in 0..references {
         let a: Access = workload.next_access();
         blocks.insert(a.addr / block_bytes);

@@ -122,7 +122,7 @@ fn parse_line(line: &str, number: usize) -> Result<Access, TraceError> {
 /// [`TraceError::Io`] on read failure, [`TraceError::Parse`] on a
 /// malformed line.
 pub fn read_trace<R: Read>(reader: R) -> Result<Vec<Access>, TraceError> {
-    let _span = nm_telemetry::span("trace.read");
+    let _span = nm_telemetry::span(crate::names::TRACE_READ);
     let mut out = Vec::new();
     for (i, line) in BufReader::new(reader).lines().enumerate() {
         let line = line?;
@@ -132,7 +132,7 @@ pub fn read_trace<R: Read>(reader: R) -> Result<Vec<Access>, TraceError> {
         }
         out.push(parse_line(trimmed, i + 1)?);
     }
-    nm_telemetry::counter_add("trace.records", out.len() as u64);
+    nm_telemetry::counter_add(crate::names::TRACE_RECORDS, out.len() as u64);
     Ok(out)
 }
 
@@ -218,7 +218,7 @@ pub fn read_trace_binary_limited<R: Read>(
     mut reader: R,
     limit: u64,
 ) -> Result<Vec<Access>, TraceError> {
-    let _span = nm_telemetry::span("trace.read_binary");
+    let _span = nm_telemetry::span(crate::names::TRACE_READ_BINARY);
     let corrupt = |offset: u64, detail: &'static str| TraceError::Corrupt { offset, detail };
     let mut header = [0u8; BINARY_HEADER_BYTES as usize];
     reader
@@ -239,7 +239,7 @@ pub fn read_trace_binary_limited<R: Read>(
         let mut first = [0u8; 1];
         match reader.read(&mut first) {
             Ok(0) => {
-                nm_telemetry::counter_add("trace.records", out.len() as u64);
+                nm_telemetry::counter_add(crate::names::TRACE_RECORDS, out.len() as u64);
                 return Ok(out);
             }
             Ok(_) => {}
@@ -261,7 +261,9 @@ pub fn read_trace_binary_limited<R: Read>(
             1 => AccessKind::Write,
             _ => return Err(corrupt(record_offset, "bad kind byte")),
         };
-        let addr = u64::from_le_bytes(record[1..].try_into().expect("8 bytes"));
+        let mut addr_bytes = [0u8; 8];
+        addr_bytes.copy_from_slice(&record[1..]);
+        let addr = u64::from_le_bytes(addr_bytes);
         out.push(Access { addr, kind });
     }
 }

@@ -67,10 +67,7 @@ impl Zipf {
     /// Draws one rank in `0..len()`.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen();
-        match self
-            .cdf
-            .binary_search_by(|probe| probe.partial_cmp(&u).expect("cdf entries are finite"))
-        {
+        match self.cdf.binary_search_by(|probe| probe.total_cmp(&u)) {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }

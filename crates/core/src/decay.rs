@@ -89,6 +89,7 @@ impl DecayStudy {
     }
 
     /// Simulates one decay interval on the study's cache geometry.
+    #[allow(clippy::expect_used)] // fingerprinted in analyze.allow: geometry configs are legal
     pub fn simulate_interval(&self, interval: u64) -> DecayOutcome {
         let config = self.study.circuit().config();
         let params = CacheParams::new(
@@ -112,6 +113,7 @@ impl DecayStudy {
 
     /// Picks the interval minimising `alive·array_leakage + refill power`
     /// for a given array leakage, from precomputed interval outcomes.
+    #[allow(clippy::expect_used)] // fingerprinted in analyze.allow: interval list non-empty
     fn best_outcome(
         outcomes: &[DecayOutcome],
         array_leakage: Watts,
@@ -123,7 +125,7 @@ impl DecayStudy {
                 let cost = |o: &DecayOutcome| {
                     array_leakage.0 * o.alive_fraction + refill(o.decay_miss_rate).0
                 };
-                cost(a).partial_cmp(&cost(b)).expect("finite costs")
+                cost(a).total_cmp(&cost(b))
             })
             .expect("interval list is non-empty")
     }

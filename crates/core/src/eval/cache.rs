@@ -38,13 +38,16 @@ impl MetricsCache {
         if let Some((_, s)) = self
             .entries
             .read()
-            .expect("metrics cache lock")
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
             .iter()
             .find(|(c, _)| c == circuit)
         {
             return Arc::clone(s);
         }
-        let mut entries = self.entries.write().expect("metrics cache lock");
+        let mut entries = self
+            .entries
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         // Re-check under the write lock: another thread may have inserted.
         if let Some((_, s)) = entries.iter().find(|(c, _)| c == circuit) {
             return Arc::clone(s);
@@ -64,7 +67,7 @@ impl MetricsCache {
     ) -> Option<Arc<ComponentSurface>> {
         self.entries
             .read()
-            .expect("metrics cache lock")
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
             .iter()
             .find(|(c, _)| c == circuit)
             .and_then(|(_, s)| s.slots[id.index()].get().cloned())
@@ -83,12 +86,12 @@ impl MetricsCache {
         let slot = &surfaces.slots[id.index()];
         if let Some(existing) = slot.get() {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            nm_telemetry::counter_inc("eval.surface_hit");
+            nm_telemetry::counter_inc(crate::names::EVAL_SURFACE_HIT);
             return Arc::clone(existing);
         }
         let built = slot.get_or_init(|| {
             self.built.fetch_add(1, Ordering::Relaxed);
-            nm_telemetry::counter_inc("eval.surface_built");
+            nm_telemetry::counter_inc(crate::names::EVAL_SURFACE_BUILT);
             Arc::new(circuit.component_surface(id, points))
         });
         Arc::clone(built)
@@ -106,7 +109,7 @@ impl MetricsCache {
         let surfaces = self.surfaces_of(circuit);
         if surfaces.slots[id.index()].set(Arc::new(surface)).is_ok() {
             self.built.fetch_add(1, Ordering::Relaxed);
-            nm_telemetry::counter_inc("eval.surface_built");
+            nm_telemetry::counter_inc(crate::names::EVAL_SURFACE_BUILT);
         }
     }
 

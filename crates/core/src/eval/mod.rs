@@ -275,7 +275,7 @@ impl Evaluator {
     ///
     /// The first failed or rejected surface build, in job order.
     pub fn try_ensure_surfaces(&self, spec: &HierarchySpec) -> Result<(), StudyError> {
-        let _span = nm_telemetry::span("eval.ensure_surfaces");
+        let _span = nm_telemetry::span(crate::names::EVAL_ENSURE_SURFACES);
         let mut jobs: Vec<(CacheCircuit, ComponentId)> = Vec::new();
         for level in spec.levels() {
             for id in COMPONENT_IDS {
@@ -301,6 +301,8 @@ impl Evaluator {
                 tables.push((circuit.tech().clone(), self.prims_table(circuit.tech())));
             }
         }
+        #[allow(clippy::expect_used)]
+        // fingerprinted in analyze.allow: table built in the loop above
         let table_for = |circuit: &CacheCircuit| -> &PrimsTable {
             tables
                 .iter()
@@ -313,12 +315,9 @@ impl Evaluator {
             .try_map(&jobs, |(circuit, id)| {
                 let prims = table_for(circuit);
                 if nm_telemetry::enabled() {
-                    let t0 = std::time::Instant::now();
+                    let t0 = nm_telemetry::Stopwatch::start();
                     let surface = circuit.component_surface_with(*id, &self.points, prims);
-                    nm_telemetry::observe_seconds(
-                        "eval.surface_build_seconds",
-                        t0.elapsed().as_secs_f64(),
-                    );
+                    t0.observe(crate::names::EVAL_SURFACE_BUILD_SECONDS);
                     surface
                 } else {
                     circuit.component_surface_with(*id, &self.points, prims)
@@ -335,12 +334,15 @@ impl Evaluator {
                     let _ = job_index;
                     match validate_surface(circuit, *id, &surface) {
                         Ok(()) => {
-                            nm_telemetry::counter_add("surface.soa.points", surface.len() as u64);
+                            nm_telemetry::counter_add(
+                                crate::names::SURFACE_SOA_POINTS,
+                                surface.len() as u64,
+                            );
                             self.cache.install(circuit, *id, surface);
                         }
                         Err(e) => {
                             self.surfaces_rejected.fetch_add(1, Ordering::Relaxed);
-                            nm_telemetry::counter_inc("eval.surface_rejected");
+                            nm_telemetry::counter_inc(crate::names::EVAL_SURFACE_REJECTED);
                             first_error.get_or_insert(e);
                         }
                     }
@@ -447,10 +449,10 @@ impl Evaluator {
     ///
     /// Any error from [`try_ensure_surfaces`](Self::try_ensure_surfaces).
     pub fn try_front(&self, spec: &HierarchySpec) -> Result<Arc<Vec<FrontPoint>>, StudyError> {
-        let _span = nm_telemetry::span("eval.front");
+        let _span = nm_telemetry::span(crate::names::EVAL_FRONT);
         if let Some(front) = self.cached_front(spec) {
             self.front_hits.fetch_add(1, Ordering::Relaxed);
-            nm_telemetry::counter_inc("eval.front_hit");
+            nm_telemetry::counter_inc(crate::names::EVAL_FRONT_HIT);
             return Ok(front);
         }
         let groups = self.try_groups(spec)?;
@@ -460,17 +462,20 @@ impl Evaluator {
         let bases: Vec<Arc<MergeBase>> = self
             .fronts
             .read()
-            .expect("front cache lock")
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
             .iter()
             .map(|(_, _, b)| Arc::clone(b))
             .collect();
         let (base, reused) = MergeBase::try_new_with_bases(&groups, bases.iter().map(Arc::as_ref))?;
         if reused > 0 {
             self.fronts_incremental.fetch_add(1, Ordering::Relaxed);
-            nm_telemetry::counter_add("front.merge.incremental", reused as u64);
+            nm_telemetry::counter_add(crate::names::FRONT_MERGE_INCREMENTAL, reused as u64);
         }
         let front = Arc::new(base.front());
-        let mut fronts = self.fronts.write().expect("front cache lock");
+        let mut fronts = self
+            .fronts
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         // Keep the first-stored front if another thread raced us there —
         // both are bit-identical, but callers may compare Arc pointers.
         if let Some((_, existing, _)) = fronts.iter().find(|(s, _, _)| s == spec) {
@@ -478,11 +483,11 @@ impl Evaluator {
         }
         fronts.push((spec.clone(), Arc::clone(&front), Arc::new(base)));
         self.fronts_built.fetch_add(1, Ordering::Relaxed);
-        nm_telemetry::counter_inc("eval.front_built");
+        nm_telemetry::counter_inc(crate::names::EVAL_FRONT_BUILT);
         // Hierarchy shape of this run, for `--metrics` reports: depth per
         // freshly-built front plus the per-level technology mix.
         if nm_telemetry::enabled() {
-            nm_telemetry::counter_add("eval.levels", spec.levels().len() as u64);
+            nm_telemetry::counter_add(crate::names::EVAL_LEVELS, spec.levels().len() as u64);
             for level in spec.levels() {
                 nm_telemetry::counter_inc(&format!("device.tech.{}", level.technology().name));
             }
@@ -493,7 +498,7 @@ impl Evaluator {
     fn cached_front(&self, spec: &HierarchySpec) -> Option<Arc<Vec<FrontPoint>>> {
         self.fronts
             .read()
-            .expect("front cache lock")
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
             .iter()
             .find(|(s, _, _)| s == spec)
             .map(|(_, f, _)| Arc::clone(f))
@@ -518,7 +523,7 @@ impl Evaluator {
         spec: &HierarchySpec,
         constraint: &C,
     ) -> Result<Option<Solution>, StudyError> {
-        let _span = nm_telemetry::span("eval.solve");
+        let _span = nm_telemetry::span(crate::names::EVAL_SOLVE);
         let front = self.try_front(spec)?;
         constraint
             .select(&front)
@@ -571,13 +576,13 @@ impl Evaluator {
         let last = self
             .restricted_base
             .lock()
-            .expect("restricted base lock")
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
             .clone();
         let mut bases: Vec<Arc<MergeBase>> = last.into_iter().collect();
         bases.extend(
             self.fronts
                 .read()
-                .expect("front cache lock")
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
                 .iter()
                 .map(|(_, _, b)| Arc::clone(b)),
         );
@@ -585,10 +590,13 @@ impl Evaluator {
             MergeBase::try_new_with_bases(&restricted, bases.iter().map(Arc::as_ref))?;
         if reused > 0 {
             self.fronts_incremental.fetch_add(1, Ordering::Relaxed);
-            nm_telemetry::counter_add("front.merge.incremental", reused as u64);
+            nm_telemetry::counter_add(crate::names::FRONT_MERGE_INCREMENTAL, reused as u64);
         }
         let front = base.front();
-        *self.restricted_base.lock().expect("restricted base lock") = Some(Arc::new(base));
+        *self
+            .restricted_base
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(Arc::new(base));
         constraint
             .select(&front)
             .map(|point| self.try_solution(spec, point))

@@ -50,6 +50,7 @@ pub mod fitcheck;
 pub mod groups;
 pub mod memsys;
 pub mod mixedtech;
+pub mod names;
 pub mod plot;
 pub mod report;
 pub mod sensitivity;

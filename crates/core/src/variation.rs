@@ -57,6 +57,7 @@ impl VariationStudy {
 
     /// Shifts every component of an assignment by one die corner (global
     /// variation: all components move together).
+    #[allow(clippy::expect_used)] // fingerprinted in analyze.allow: clamped to legal window
     fn shift(knobs: &ComponentKnobs, from: KnobPoint, to: KnobPoint) -> ComponentKnobs {
         let dv = to.vth().0 - from.vth().0;
         let dt = to.tox().0 - from.tox().0;
@@ -161,6 +162,7 @@ pub fn paper_16kb_variation(
 }
 
 impl Default for VariationStudy {
+    #[allow(clippy::expect_used)] // fingerprinted in analyze.allow: paper configuration is valid
     fn default() -> Self {
         paper_16kb_variation(200, 65).expect("paper configuration is valid")
     }

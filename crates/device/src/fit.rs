@@ -57,13 +57,8 @@ pub fn solve_linear(mut m: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, D
     );
     for col in 0..n {
         let pivot_row = (col..n)
-            .max_by(|&i, &j| {
-                m[i][col]
-                    .abs()
-                    .partial_cmp(&m[j][col].abs())
-                    .expect("matrix entries are finite")
-            })
-            .expect("non-empty column");
+            .max_by(|&i, &j| m[i][col].abs().total_cmp(&m[j][col].abs()))
+            .unwrap_or(col);
         if m[pivot_row][col].abs() < 1e-300 {
             return Err(DeviceError::SingularSystem);
         }
@@ -166,7 +161,7 @@ impl LeakageFit {
     /// [`DeviceError::SingularSystem`] if the samples are degenerate (e.g.
     /// all at one knob point).
     pub fn fit(samples: &[Sample]) -> Result<Self, DeviceError> {
-        let _span = nm_telemetry::span("device.fit.leakage");
+        let _span = nm_telemetry::span(crate::names::FIT_LEAKAGE);
         if samples.len() < 6 {
             return Err(DeviceError::TooFewSamples {
                 got: samples.len(),
@@ -191,7 +186,7 @@ impl LeakageFit {
     /// the coefficients may have been perturbed (deserialized, hand-built,
     /// extrapolated) and garbage must become a typed error instead.
     pub fn evaluate(&self, knobs: KnobPoint) -> f64 {
-        nm_telemetry::counter_inc("device.evaluate");
+        nm_telemetry::counter_inc(crate::names::EVALUATE);
         self.a0
             + self.a1 * (self.exp_vth * knobs.vth().0).exp()
             + self.a2 * (self.exp_tox * knobs.tox().0).exp()
@@ -207,7 +202,7 @@ impl LeakageFit {
     /// Returns [`DeviceError::NonFiniteSurface`] when the surface value
     /// is NaN or infinite at `knobs`.
     pub fn try_evaluate(&self, knobs: KnobPoint) -> Result<f64, DeviceError> {
-        nm_telemetry::counter_inc("device.try_evaluate");
+        nm_telemetry::counter_inc(crate::names::TRY_EVALUATE);
         let value = self.evaluate(knobs);
         if value.is_finite() {
             Ok(value)
@@ -255,7 +250,7 @@ impl DelayFit {
     /// Returns [`DeviceError::TooFewSamples`] with fewer than 5 samples and
     /// [`DeviceError::SingularSystem`] for degenerate sample sets.
     pub fn fit(samples: &[Sample]) -> Result<Self, DeviceError> {
-        let _span = nm_telemetry::span("device.fit.delay");
+        let _span = nm_telemetry::span(crate::names::FIT_DELAY);
         if samples.len() < 5 {
             return Err(DeviceError::TooFewSamples {
                 got: samples.len(),
@@ -311,7 +306,7 @@ impl DelayFit {
     /// the coefficients may have been perturbed (deserialized, hand-built,
     /// extrapolated) and garbage must become a typed error instead.
     pub fn evaluate(&self, knobs: KnobPoint) -> f64 {
-        nm_telemetry::counter_inc("device.evaluate");
+        nm_telemetry::counter_inc(crate::names::EVALUATE);
         self.k0 + self.k1 * (self.exp_vth * knobs.vth().0).exp() + self.k2 * knobs.tox().0
     }
 
@@ -323,7 +318,7 @@ impl DelayFit {
     /// Returns [`DeviceError::NonFiniteSurface`] when the surface value
     /// is NaN or infinite at `knobs`.
     pub fn try_evaluate(&self, knobs: KnobPoint) -> Result<f64, DeviceError> {
-        nm_telemetry::counter_inc("device.try_evaluate");
+        nm_telemetry::counter_inc(crate::names::TRY_EVALUATE);
         let value = self.evaluate(knobs);
         if value.is_finite() {
             Ok(value)

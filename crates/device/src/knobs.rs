@@ -171,12 +171,14 @@ impl KnobGrid {
     }
 
     /// The paper's fine grid: 10 mV `Vth` steps, 0.5 Å `Tox` steps.
+    #[allow(clippy::expect_used)] // fingerprinted in analyze.allow: static grid sizes
     pub fn paper() -> Self {
         Self::uniform(31, 9).expect("static grid sizes are non-degenerate")
     }
 
     /// A coarse grid (7 × 5) for combinatorial experiments such as the
     /// (`nTox`, `nVth`) tuple-selection problem of Figure 2.
+    #[allow(clippy::expect_used)] // fingerprinted in analyze.allow: static grid sizes
     pub fn coarse() -> Self {
         Self::uniform(7, 5).expect("static grid sizes are non-degenerate")
     }
@@ -211,27 +213,21 @@ impl KnobGrid {
     }
 
     /// Returns the grid point nearest to an arbitrary legal knob point.
+    /// Snapping to an empty axis (impossible via the constructors)
+    /// leaves that coordinate where it is.
     pub fn snap(&self, p: KnobPoint) -> KnobPoint {
-        let vth = *self
+        let vth = self
             .vth_values
             .iter()
-            .min_by(|a, b| {
-                (a.0 - p.vth.0)
-                    .abs()
-                    .partial_cmp(&(b.0 - p.vth.0).abs())
-                    .expect("grid values are finite")
-            })
-            .expect("grid is non-empty");
-        let tox = *self
+            .min_by(|a, b| (a.0 - p.vth.0).abs().total_cmp(&(b.0 - p.vth.0).abs()))
+            .copied()
+            .unwrap_or(p.vth);
+        let tox = self
             .tox_values
             .iter()
-            .min_by(|a, b| {
-                (a.0 - p.tox.0)
-                    .abs()
-                    .partial_cmp(&(b.0 - p.tox.0).abs())
-                    .expect("grid values are finite")
-            })
-            .expect("grid is non-empty");
+            .min_by(|a, b| (a.0 - p.tox.0).abs().total_cmp(&(b.0 - p.tox.0).abs()))
+            .copied()
+            .unwrap_or(p.tox);
         KnobPoint { vth, tox }
     }
 }

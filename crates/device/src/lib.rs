@@ -61,6 +61,7 @@ pub mod drive;
 pub mod fit;
 pub mod knobs;
 pub mod leakage;
+pub mod names;
 pub mod prims;
 pub mod scaling;
 pub mod snm;

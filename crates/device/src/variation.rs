@@ -100,7 +100,7 @@ impl VariationDistribution {
     /// Panics on an empty sample set.
     pub fn from_samples(mut values: Vec<f64>) -> Self {
         assert!(!values.is_empty(), "distribution needs at least one sample");
-        values.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        values.sort_by(f64::total_cmp);
         let n = values.len();
         let mean = values.iter().sum::<f64>() / n as f64;
         let var = if n > 1 {
@@ -140,6 +140,7 @@ impl MonteCarlo {
 
     /// Draws one die corner around `nominal`, clamped to the legal knob
     /// window (a fab would not ship outside-spec material).
+    #[allow(clippy::expect_used)] // fingerprinted in analyze.allow: clamped to legal window
     pub fn sample_corner(&mut self, nominal: KnobPoint) -> KnobPoint {
         let dv = gaussian(&mut self.rng) * self.model.sigma_vth.0;
         let dt = gaussian(&mut self.rng) * self.model.sigma_tox.0;

@@ -130,7 +130,7 @@ impl ComponentKnobs {
     /// The distinct `Vth` values used, sorted ascending.
     pub fn distinct_vths(&self) -> Vec<f64> {
         let mut v: Vec<f64> = self.knobs.iter().map(|p| p.vth().0).collect();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("knob values are finite"));
+        v.sort_by(f64::total_cmp);
         v.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
         v
     }
@@ -138,7 +138,7 @@ impl ComponentKnobs {
     /// The distinct `Tox` values used, sorted ascending.
     pub fn distinct_toxes(&self) -> Vec<f64> {
         let mut v: Vec<f64> = self.knobs.iter().map(|p| p.tox().0).collect();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("knob values are finite"));
+        v.sort_by(f64::total_cmp);
         v.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
         v
     }

@@ -410,8 +410,10 @@ enum PointIndex {
     /// hashing, and building it is allocation-light — the layout
     /// [`nm_device::KnobGrid::points`] produces.
     Grid { vth: Vec<u64>, tox: Vec<u64> },
-    /// Arbitrary point sets fall back to a hash index.
-    Map(std::collections::HashMap<(u64, u64), usize>),
+    /// Arbitrary point sets fall back to an ordered index (lookup only,
+    /// so the tree's deterministic order costs nothing and keeps the
+    /// D4 no-hash-iteration invariant trivially true).
+    Map(std::collections::BTreeMap<(u64, u64), usize>),
 }
 
 impl PointIndex {

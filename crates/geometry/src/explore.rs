@@ -79,7 +79,7 @@ pub fn explore(
                     score,
                 }
             });
-    out.sort_by(|a, b| a.score.partial_cmp(&b.score).expect("finite scores"));
+    out.sort_by(|a, b| a.score.total_cmp(&b.score));
     out
 }
 

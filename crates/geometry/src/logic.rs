@@ -218,6 +218,7 @@ pub fn repeated_wire_with<P: PointPrims>(
 /// A small discrete search (rather than the classic closed form) so it
 /// remains exact under this model's near-threshold resistance term; used
 /// to sanity-check the fixed-pitch default in [`repeated_wire`].
+#[allow(clippy::expect_used)] // fingerprinted in analyze.allow: fixed search space is non-empty
 pub fn optimal_repeaters(
     tech: &TechnologyNode,
     knobs: KnobPoint,

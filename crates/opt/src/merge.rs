@@ -261,7 +261,11 @@ impl MergeBase {
     /// predecessor links — the only place `choice` vectors are built.
     pub fn front(&self) -> Vec<FrontPoint> {
         let n_groups = self.layers.len();
-        let last = self.layers.last().expect("a base holds at least one layer");
+        // A base always holds at least one layer (constructors reject
+        // empty systems); an empty one yields an empty front.
+        let Some(last) = self.layers.last() else {
+            return Vec::new();
+        };
         let mut out = Vec::with_capacity(last.len());
         for p in 0..last.len() {
             let mut choice = vec![KnobPoint::nominal(); n_groups];
@@ -291,6 +295,7 @@ impl MergeBase {
 ///
 /// Panics when `groups` is empty — a system needs at least one group.
 /// Callers that must not abort use [`try_system_front`].
+#[allow(clippy::expect_used)] // fingerprinted in analyze.allow: documented panicking wrapper
 pub fn system_front(groups: &[Group]) -> Vec<FrontPoint> {
     assert!(!groups.is_empty(), "system_front needs at least one group");
     try_system_front(groups).expect("group emptiness was just checked")
@@ -310,6 +315,7 @@ pub fn try_system_front(groups: &[Group]) -> Result<Vec<FrontPoint>, EmptySystem
 /// # Panics
 ///
 /// Panics when `groups` is empty.
+#[allow(clippy::expect_used)] // fingerprinted in analyze.allow: documented panicking wrapper
 pub fn system_front_with_base(groups: &[Group], base: &MergeBase) -> (Vec<FrontPoint>, usize) {
     assert!(!groups.is_empty(), "system_front needs at least one group");
     let (merged, reused) =

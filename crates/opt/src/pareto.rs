@@ -63,9 +63,17 @@ pub fn prune_epsilon(candidates: Vec<Candidate>, eps: f64) -> Vec<Candidate> {
             out.push(*c);
             continue;
         }
-        let kept = out.last().expect("first element always kept");
-        let delay_gap = (c.delay - kept.delay) / kept.delay.max(f64::MIN_POSITIVE);
-        let cost_gap = (kept.cost - c.cost) / c.cost.max(f64::MIN_POSITIVE);
+        // The first element is always kept, so `out` is non-empty here;
+        // degrade to keeping the point if that invariant ever breaks.
+        let (kept_delay, kept_cost) = match out.last() {
+            Some(kept) => (kept.delay, kept.cost),
+            None => {
+                out.push(*c);
+                continue;
+            }
+        };
+        let delay_gap = (c.delay - kept_delay) / kept_delay.max(f64::MIN_POSITIVE);
+        let cost_gap = (kept_cost - c.cost) / c.cost.max(f64::MIN_POSITIVE);
         if delay_gap >= eps || cost_gap >= eps {
             out.push(*c);
         }

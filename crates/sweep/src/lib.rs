@@ -52,10 +52,13 @@
 //! and item index, so all of the above is testable in CI without
 //! wall-clock randomness.
 
+use nm_telemetry::Stopwatch;
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+pub mod names;
 
 /// Environment variable overriding the default worker count.
 pub const THREADS_ENV: &str = "NMCACHE_THREADS";
@@ -325,7 +328,7 @@ impl ParallelSweep {
         R: Send,
         F: Fn(&T) -> R + Sync,
     {
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let n = items.len();
         let workers = self.workers.min(n.max(1));
         // Per-item latency is only timed while telemetry records; with it
@@ -345,9 +348,9 @@ impl ParallelSweep {
         let run_one = |i: usize| -> R {
             match &item_hist {
                 Some(hist) => {
-                    let t0 = Instant::now();
+                    let t0 = Stopwatch::start();
                     let r = f(&items[i]);
-                    nm_telemetry::observe_seconds(hist, t0.elapsed().as_secs_f64());
+                    nm_telemetry::observe_seconds(hist, t0.elapsed_seconds());
                     r
                 }
                 None => f(&items[i]),
@@ -404,10 +407,12 @@ impl ParallelSweep {
             poisoned_workers: 0,
         });
 
-        slots
+        #[allow(clippy::expect_used)] // fingerprinted in analyze.allow: executor fill invariant
+        let results: Vec<R> = slots
             .into_iter()
             .map(|r| r.expect("every index was claimed exactly once"))
-            .collect()
+            .collect();
+        results
     }
 
     /// Applies `f` to every item with per-item panic containment and
@@ -432,7 +437,7 @@ impl ParallelSweep {
         R: Send,
         F: Fn(&T) -> R + Sync,
     {
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let n = items.len();
         let workers = self.workers.min(n.max(1));
         let label = self.label.as_deref();
@@ -450,7 +455,7 @@ impl ParallelSweep {
         // thread must survive.
         let run_item = |i: usize, degraded: bool| -> Result<R, ItemFault> {
             let mut last = String::new();
-            let item_start = item_hist.as_ref().map(|_| Instant::now());
+            let item_start = item_hist.as_ref().map(|_| Stopwatch::start());
             for attempt in 1..=attempts {
                 let fault = exec_fault(label, i);
                 if matches!(fault, Some(ExecFault::KillWorker)) && !degraded {
@@ -472,7 +477,7 @@ impl ParallelSweep {
                 match outcome {
                     Ok(r) => {
                         if let (Some(hist), Some(t0)) = (&item_hist, item_start) {
-                            nm_telemetry::observe_seconds(hist, t0.elapsed().as_secs_f64());
+                            nm_telemetry::observe_seconds(hist, t0.elapsed_seconds());
                         }
                         return Ok(r);
                     }
@@ -560,6 +565,7 @@ impl ParallelSweep {
             }
         }
 
+        #[allow(clippy::expect_used)] // fingerprinted in analyze.allow: executor fill invariant
         let results: Vec<Result<R, ItemFault>> = slots
             .into_iter()
             .map(|r| r.expect("every index ran in the pool or the serial fallback"))
@@ -659,10 +665,13 @@ pub mod stats {
         if !enabled() {
             return;
         }
-        nm_telemetry::counter_add("sweep.items", entry.items as u64);
-        nm_telemetry::counter_add("sweep.faults", entry.faults as u64);
-        nm_telemetry::counter_add("sweep.retries", entry.retries as u64);
-        nm_telemetry::counter_add("sweep.poisoned_workers", entry.poisoned_workers as u64);
+        nm_telemetry::counter_add(crate::names::ITEMS, entry.items as u64);
+        nm_telemetry::counter_add(crate::names::FAULTS, entry.faults as u64);
+        nm_telemetry::counter_add(crate::names::RETRIES, entry.retries as u64);
+        nm_telemetry::counter_add(
+            crate::names::POISONED_WORKERS,
+            entry.poisoned_workers as u64,
+        );
         nm_telemetry::record_sweep(nm_telemetry::SweepRecord {
             label: entry.label,
             items: entry.items,

@@ -56,10 +56,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod clock;
 mod registry;
 pub mod report;
 mod span;
 
+pub use clock::Stopwatch;
 pub use registry::{HistogramSummary, Snapshot, SweepRecord};
 pub use report::RunReport;
 pub use span::{SpanGuard, SpanRecord};

@@ -225,15 +225,27 @@ pub fn write_chrome_trace(snapshot: &Snapshot, path: &Path) -> io::Result<()> {
 /// Minimal streaming JSON writer with comma/indent bookkeeping. Keys are
 /// emitted in caller order; all callers in this module feed it from
 /// `BTreeMap`s or fixed sequences, which is what makes reports stable.
-struct JsonWriter {
+///
+/// Public so sibling crates that emit machine-readable artifacts
+/// (`nm-analyze`'s findings report, the bench harness) render them
+/// through the same writer and inherit the same float formatting,
+/// escaping and stable-layout conventions as the metrics report.
+pub struct JsonWriter {
     out: String,
     // One entry per open container: `true` once it has a first element.
     stack: Vec<bool>,
     pending_key: bool,
 }
 
+impl Default for JsonWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl JsonWriter {
-    fn new() -> Self {
+    /// An empty writer.
+    pub fn new() -> Self {
         JsonWriter {
             out: String::new(),
             stack: Vec::new(),
@@ -264,13 +276,15 @@ impl JsonWriter {
         }
     }
 
-    fn begin_object(&mut self) {
+    /// Opens a `{` object; subsequent `key`/value calls populate it.
+    pub fn begin_object(&mut self) {
         self.comma();
         self.out.push('{');
         self.stack.push(false);
     }
 
-    fn end_object(&mut self) {
+    /// Closes the innermost object.
+    pub fn end_object(&mut self) {
         let had_elems = self.stack.pop().unwrap_or(false);
         if had_elems {
             self.newline_indent();
@@ -278,13 +292,15 @@ impl JsonWriter {
         self.out.push('}');
     }
 
-    fn begin_array(&mut self) {
+    /// Opens a `[` array.
+    pub fn begin_array(&mut self) {
         self.comma();
         self.out.push('[');
         self.stack.push(false);
     }
 
-    fn end_array(&mut self) {
+    /// Closes the innermost array.
+    pub fn end_array(&mut self) {
         let had_elems = self.stack.pop().unwrap_or(false);
         if had_elems {
             self.newline_indent();
@@ -292,24 +308,28 @@ impl JsonWriter {
         self.out.push(']');
     }
 
-    fn key(&mut self, key: &str) {
+    /// Emits an object key; the next value call becomes its value.
+    pub fn key(&mut self, key: &str) {
         self.comma();
         self.push_escaped(key);
         self.out.push_str(": ");
         self.pending_key = true;
     }
 
-    fn string(&mut self, value: &str) {
+    /// Emits an escaped string value.
+    pub fn string(&mut self, value: &str) {
         self.comma();
         self.push_escaped(value);
     }
 
-    fn u64(&mut self, value: u64) {
+    /// Emits an unsigned integer value.
+    pub fn u64(&mut self, value: u64) {
         self.comma();
         self.out.push_str(&value.to_string());
     }
 
-    fn f64(&mut self, value: f64) {
+    /// Emits a float value; non-finite values render as `null`.
+    pub fn f64(&mut self, value: f64) {
         self.comma();
         if value.is_finite() {
             let text = format!("{value}");
@@ -343,7 +363,8 @@ impl JsonWriter {
         self.out.push('"');
     }
 
-    fn string_map(&mut self, map: &BTreeMap<String, String>) {
+    /// Emits a whole object of string values in map order.
+    pub fn string_map(&mut self, map: &BTreeMap<String, String>) {
         self.begin_object();
         for (k, v) in map {
             self.key(k);
@@ -352,7 +373,8 @@ impl JsonWriter {
         self.end_object();
     }
 
-    fn u64_map(&mut self, map: &BTreeMap<String, u64>) {
+    /// Emits a whole object of integer values in map order.
+    pub fn u64_map(&mut self, map: &BTreeMap<String, u64>) {
         self.begin_object();
         for (k, v) in map {
             self.key(k);
@@ -361,7 +383,8 @@ impl JsonWriter {
         self.end_object();
     }
 
-    fn f64_map(&mut self, map: &BTreeMap<String, f64>) {
+    /// Emits a whole object of float values in map order.
+    pub fn f64_map(&mut self, map: &BTreeMap<String, f64>) {
         self.begin_object();
         for (k, v) in map {
             self.key(k);
@@ -370,7 +393,8 @@ impl JsonWriter {
         self.end_object();
     }
 
-    fn finish(self) -> String {
+    /// The rendered document.
+    pub fn finish(self) -> String {
         self.out
     }
 }

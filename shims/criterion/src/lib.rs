@@ -1,3 +1,6 @@
+// Vendored shim: lint-exempt from the workspace unwrap/expect audit.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! Offline stand-in for the subset of `criterion` this workspace's bench
 //! harness uses. It is a *timer*, not a statistics engine: every
 //! registered benchmark runs `sample_size` iterations after one warm-up

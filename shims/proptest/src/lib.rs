@@ -1,3 +1,6 @@
+// Vendored shim: lint-exempt from the workspace unwrap/expect audit.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! Offline stand-in for the subset of `proptest` this workspace uses.
 //!
 //! Semantics: each `proptest!` test samples its strategies

