@@ -113,6 +113,21 @@ impl MetricsCache {
         }
     }
 
+    /// Installs a surface loaded from the persistence tier: like
+    /// [`install`](Self::install), but the surface does not count as
+    /// *built* — it was loaded, not computed (the caller accounts for
+    /// loads separately, so `surfaces_built` keeps meaning "circuit
+    /// model passes actually run").
+    pub(crate) fn install_loaded(
+        &self,
+        circuit: &CacheCircuit,
+        id: ComponentId,
+        surface: ComponentSurface,
+    ) {
+        let surfaces = self.surfaces_of(circuit);
+        let _ = surfaces.slots[id.index()].set(Arc::new(surface));
+    }
+
     /// `(surfaces built, cache hits)` so far.
     pub(crate) fn stats(&self) -> (usize, usize) {
         (

@@ -76,11 +76,22 @@ pub struct EvalStats {
     pub fronts_incremental: usize,
     /// Computed surfaces rejected by validation (never cached).
     pub surfaces_rejected: usize,
+    /// Surfaces and fronts loaded from the persistent store instead of
+    /// being recomputed.
+    pub store_loaded: usize,
+    /// Persisted payloads rejected (decode or validation failure) and
+    /// recomputed.
+    pub store_rejected: usize,
+    /// Store read/write failures absorbed by the in-memory fallback.
+    pub store_errors: usize,
 }
 
 /// One memoized front: the spec it answers, the merged front served to
-/// queries, and the merge base later specs extend incrementally.
-type FrontEntry = (HierarchySpec, Arc<Vec<FrontPoint>>, Arc<MergeBase>);
+/// queries, and the merge base later specs extend incrementally. Fronts
+/// loaded from the persistent store carry no base — they skipped the
+/// merge, so there are no layers to extend (later specs simply merge
+/// from scratch, which is bit-identical).
+type FrontEntry = (HierarchySpec, Arc<Vec<FrontPoint>>, Option<Arc<MergeBase>>);
 
 /// The memoizing evaluation pipeline. One evaluator owns one knob grid;
 /// every query against it shares the same metric-surface and front
@@ -92,10 +103,17 @@ pub struct Evaluator {
     prims: RwLock<Vec<(TechnologyNode, Arc<PrimsTable>)>>,
     fronts: RwLock<Vec<FrontEntry>>,
     restricted_base: Mutex<Option<Arc<MergeBase>>>,
+    /// Optional write-through persistence tier under the memo caches.
+    /// Content-addressed and strictly best-effort: a missing, corrupt
+    /// or failing store degrades to recompute — never to an abort.
+    store: Option<Arc<nm_store::Store>>,
     fronts_built: AtomicUsize,
     fronts_incremental: AtomicUsize,
     front_hits: AtomicUsize,
     surfaces_rejected: AtomicUsize,
+    store_loaded: AtomicUsize,
+    store_rejected: AtomicUsize,
+    store_errors: AtomicUsize,
 }
 
 /// `true` when every value in a metric buffer is finite and
@@ -164,6 +182,15 @@ fn validate_surface(
     unreachable!("buffer scan flagged a surface the point walk found healthy")
 }
 
+/// Logs a persistence-tier degradation to stderr when span logging is
+/// on. Store failures are absorbed (counted + fallback), so this is the
+/// only place they become visible interactively.
+fn log_store_event(message: &str) {
+    if nm_telemetry::log_level() != nm_telemetry::LogLevel::Off {
+        eprintln!("nmcache: {message}");
+    }
+}
+
 /// Swaps in a NaN-delay metric record when a [`Fault::Nan`]
 /// (`nm_sweep::faultinject::Fault::Nan`) is armed for this
 /// `eval-surfaces` job index — the injection point proving that
@@ -192,11 +219,32 @@ impl Evaluator {
             prims: RwLock::new(Vec::new()),
             fronts: RwLock::new(Vec::new()),
             restricted_base: Mutex::new(None),
+            store: None,
             fronts_built: AtomicUsize::new(0),
             fronts_incremental: AtomicUsize::new(0),
             front_hits: AtomicUsize::new(0),
             surfaces_rejected: AtomicUsize::new(0),
+            store_loaded: AtomicUsize::new(0),
+            store_rejected: AtomicUsize::new(0),
+            store_errors: AtomicUsize::new(0),
         }
+    }
+
+    /// Creates an evaluator backed by a persistent store: surfaces and
+    /// fronts are looked up by content key before being computed, and
+    /// fresh computations are written through. The store is strictly a
+    /// cache tier below the in-memory memo caches — every load is
+    /// re-validated before install, rejected or unreadable records fall
+    /// back to recompute, and write failures are counted, not raised.
+    pub fn with_store(grid: KnobGrid, store: Arc<nm_store::Store>) -> Self {
+        let mut e = Evaluator::new(grid);
+        e.store = Some(store);
+        e
+    }
+
+    /// The persistent store backing this evaluator, if any.
+    pub fn store(&self) -> Option<&Arc<nm_store::Store>> {
+        self.store.as_ref()
     }
 
     /// The knob grid every surface and front is enumerated over.
@@ -214,6 +262,112 @@ impl Evaluator {
             front_hits: self.front_hits.load(Ordering::Relaxed),
             fronts_incremental: self.fronts_incremental.load(Ordering::Relaxed),
             surfaces_rejected: self.surfaces_rejected.load(Ordering::Relaxed),
+            store_loaded: self.store_loaded.load(Ordering::Relaxed),
+            store_rejected: self.store_rejected.load(Ordering::Relaxed),
+            store_errors: self.store_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Tries to satisfy one missing surface job from the persistent
+    /// store. A loaded surface passes the same validation gate as a
+    /// computed one before it may enter the memo cache; any failure —
+    /// read error, decode error, validation reject — degrades to
+    /// recompute and is counted.
+    fn surface_from_store(&self, circuit: &CacheCircuit, id: ComponentId) -> bool {
+        let Some(store) = &self.store else {
+            return false;
+        };
+        let key = crate::persist::surface_key(circuit, id, &self.points);
+        let bytes = match store.get(key) {
+            Ok(Some(bytes)) => bytes,
+            Ok(None) => return false,
+            Err(e) => {
+                self.store_errors.fetch_add(1, Ordering::Relaxed);
+                nm_telemetry::counter_inc(crate::names::EVAL_STORE_ERRORS);
+                log_store_event(&format!("store read failed, recomputing: {e}"));
+                return false;
+            }
+        };
+        let surface = match crate::persist::decode_surface(&bytes) {
+            Ok(surface) => surface,
+            Err(e) => {
+                self.store_rejected.fetch_add(1, Ordering::Relaxed);
+                nm_telemetry::counter_inc(crate::names::EVAL_STORE_REJECTED);
+                log_store_event(&format!("persisted surface rejected, recomputing: {e}"));
+                return false;
+            }
+        };
+        if surface.points() != self.points.as_slice()
+            || validate_surface(circuit, id, &surface).is_err()
+        {
+            self.store_rejected.fetch_add(1, Ordering::Relaxed);
+            nm_telemetry::counter_inc(crate::names::EVAL_STORE_REJECTED);
+            return false;
+        }
+        self.cache.install_loaded(circuit, id, surface);
+        self.store_loaded.fetch_add(1, Ordering::Relaxed);
+        nm_telemetry::counter_inc(crate::names::EVAL_STORE_LOADED);
+        true
+    }
+
+    /// Tries to satisfy a front query from the persistent store. A
+    /// loaded front is sanity-checked against the spec (choice lengths,
+    /// finite metrics) before it is installed; it carries no merge base,
+    /// so later specs extending it merge from scratch (bit-identical).
+    fn front_from_store(&self, spec: &HierarchySpec) -> Option<Arc<Vec<FrontPoint>>> {
+        self.store.as_ref()?;
+        let key = crate::persist::front_key(spec, &self.points);
+        let bytes = match self.store.as_ref()?.get(key) {
+            Ok(Some(bytes)) => bytes,
+            Ok(None) => return None,
+            Err(e) => {
+                self.store_errors.fetch_add(1, Ordering::Relaxed);
+                nm_telemetry::counter_inc(crate::names::EVAL_STORE_ERRORS);
+                log_store_event(&format!("store read failed, recomputing: {e}"));
+                return None;
+            }
+        };
+        let front = match crate::persist::decode_front(&bytes) {
+            Ok(front) => front,
+            Err(e) => {
+                self.store_rejected.fetch_add(1, Ordering::Relaxed);
+                nm_telemetry::counter_inc(crate::names::EVAL_STORE_REJECTED);
+                log_store_event(&format!("persisted front rejected, recomputing: {e}"));
+                return None;
+            }
+        };
+        let groups = spec.group_count();
+        let healthy = front
+            .iter()
+            .all(|p| p.choice.len() == groups && p.delay.is_finite() && p.cost.is_finite());
+        if !healthy {
+            self.store_rejected.fetch_add(1, Ordering::Relaxed);
+            nm_telemetry::counter_inc(crate::names::EVAL_STORE_REJECTED);
+            log_store_event("persisted front rejected, recomputing: shape mismatch");
+            return None;
+        }
+        let front = Arc::new(front);
+        let mut fronts = self
+            .fronts
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if let Some((_, existing, _)) = fronts.iter().find(|(s, _, _)| s == spec) {
+            return Some(Arc::clone(existing));
+        }
+        fronts.push((spec.clone(), Arc::clone(&front), None));
+        self.store_loaded.fetch_add(1, Ordering::Relaxed);
+        nm_telemetry::counter_inc(crate::names::EVAL_STORE_LOADED);
+        Some(front)
+    }
+
+    /// Best-effort write-through of a payload already installed in the
+    /// memo caches. Failures are counted and noted, never raised.
+    fn store_put(&self, key: u128, payload: &[u8]) {
+        let Some(store) = &self.store else { return };
+        if let Err(e) = store.put(key, payload) {
+            self.store_errors.fetch_add(1, Ordering::Relaxed);
+            nm_telemetry::counter_inc(crate::names::EVAL_STORE_ERRORS);
+            log_store_event(&format!("store write failed, continuing in memory: {e}"));
         }
     }
 
@@ -286,6 +440,12 @@ impl Evaluator {
                 }
             }
         }
+        // Persistence tier: satisfy what the store already holds before
+        // spending compute. Loads are re-validated inside; any failure
+        // leaves the job in place for the sweep below.
+        if self.store.is_some() {
+            jobs.retain(|(circuit, id)| !self.surface_from_store(circuit, *id));
+        }
         if jobs.is_empty() {
             return Ok(());
         }
@@ -338,6 +498,12 @@ impl Evaluator {
                                 crate::names::SURFACE_SOA_POINTS,
                                 surface.len() as u64,
                             );
+                            if self.store.is_some() {
+                                self.store_put(
+                                    crate::persist::surface_key(circuit, *id, &self.points),
+                                    &crate::persist::encode_surface(&surface),
+                                );
+                            }
                             self.cache.install(circuit, *id, surface);
                         }
                         Err(e) => {
@@ -455,6 +621,9 @@ impl Evaluator {
             nm_telemetry::counter_inc(crate::names::EVAL_FRONT_HIT);
             return Ok(front);
         }
+        if let Some(front) = self.front_from_store(spec) {
+            return Ok(front);
+        }
         let groups = self.try_groups(spec)?;
         // Offer every cached spec's merge base: a spec sharing a group
         // prefix (same circuits, weights and costs on its leading levels)
@@ -464,7 +633,7 @@ impl Evaluator {
             .read()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
             .iter()
-            .map(|(_, _, b)| Arc::clone(b))
+            .filter_map(|(_, _, b)| b.clone())
             .collect();
         let (base, reused) = MergeBase::try_new_with_bases(&groups, bases.iter().map(Arc::as_ref))?;
         if reused > 0 {
@@ -481,7 +650,13 @@ impl Evaluator {
         if let Some((_, existing, _)) = fronts.iter().find(|(s, _, _)| s == spec) {
             return Ok(Arc::clone(existing));
         }
-        fronts.push((spec.clone(), Arc::clone(&front), Arc::new(base)));
+        if self.store.is_some() {
+            self.store_put(
+                crate::persist::front_key(spec, &self.points),
+                &crate::persist::encode_front(&front),
+            );
+        }
+        fronts.push((spec.clone(), Arc::clone(&front), Some(Arc::new(base))));
         self.fronts_built.fetch_add(1, Ordering::Relaxed);
         nm_telemetry::counter_inc(crate::names::EVAL_FRONT_BUILT);
         // Hierarchy shape of this run, for `--metrics` reports: depth per
@@ -584,7 +759,7 @@ impl Evaluator {
                 .read()
                 .unwrap_or_else(|poisoned| poisoned.into_inner())
                 .iter()
-                .map(|(_, _, b)| Arc::clone(b)),
+                .filter_map(|(_, _, b)| b.clone()),
         );
         let (base, reused) =
             MergeBase::try_new_with_bases(&restricted, bases.iter().map(Arc::as_ref))?;
@@ -639,9 +814,12 @@ impl Evaluator {
 
 impl Clone for Evaluator {
     /// A fresh evaluator over the same grid; memoized state is not
-    /// carried over (it regrows on first use).
+    /// carried over (it regrows on first use). The persistence tier is
+    /// shared — it is content-addressed, so sharing is always safe.
     fn clone(&self) -> Self {
-        Evaluator::new(self.grid.clone())
+        let mut e = Evaluator::new(self.grid.clone());
+        e.store = self.store.clone();
+        e
     }
 }
 

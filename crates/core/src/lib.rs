@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod amat;
+pub mod campaign;
 pub mod decay;
 pub mod eval;
 pub mod experiments;
@@ -51,6 +52,7 @@ pub mod groups;
 pub mod memsys;
 pub mod mixedtech;
 pub mod names;
+pub mod persist;
 pub mod plot;
 pub mod report;
 pub mod sensitivity;

@@ -1,0 +1,483 @@
+//! Bit-exact persistence codecs for computed evaluation artefacts.
+//!
+//! The engine's results are pure functions of their inputs, which makes
+//! persistence a *content-addressing* problem: a record is keyed by a
+//! stable 128-bit FNV-1a hash of everything its bytes depend on — the
+//! circuit (configuration, technology node with all fitted parameters
+//! and temperature, cell, organisation, cell-technology profile), the
+//! component or hierarchy spec, the knob grid, and the codec version.
+//! Equal keys imply equal payloads, so a store never needs updates and
+//! stale entries are structurally impossible: any input change changes
+//! the key.
+//!
+//! Payloads are little-endian and carry raw `f64` bit patterns — no
+//! textual round-trip anywhere — so `decode(encode(x))` is bit-identical
+//! to `x`, signed zeros and all. Decoding is paranoid (it revalidates
+//! lengths, tags, versions and knob ranges) because these bytes come
+//! from disk: a corrupt or incompatible payload decodes to a typed
+//! [`PersistError`], never a panic, and the evaluation engine treats
+//! that as a cache miss.
+//!
+//! The circuit and spec fingerprints feed `Debug` renderings into the
+//! key hash. Rust formats `f64` with the shortest round-trip
+//! representation, so two circuits hash identically exactly when every
+//! parameter is bit-identical — the same strictness the in-memory memo
+//! caches get from `PartialEq`.
+
+use crate::eval::HierarchySpec;
+use nm_device::units::{Angstroms, Joules, Seconds, SquareMicrons, Volts, Watts};
+use nm_device::KnobPoint;
+use nm_geometry::{CacheCircuit, ComponentId, ComponentMetrics, ComponentSurface};
+use nm_opt::merge::FrontPoint;
+use nm_store::KeyHasher;
+use std::fmt;
+
+/// Version of the payload encodings below. Bump on any layout change —
+/// the version participates in every content key, so old records simply
+/// stop being found (never misread).
+pub const PERSIST_FORMAT_VERSION: u32 = 1;
+
+/// Payload kind tag: a component metric surface.
+const KIND_SURFACE: u8 = 1;
+/// Payload kind tag: a merged system Pareto front.
+const KIND_FRONT: u8 = 2;
+
+/// A persisted payload failed decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersistError {
+    /// What failed, for diagnostics.
+    pub detail: String,
+}
+
+impl PersistError {
+    fn new(detail: impl Into<String>) -> Self {
+        PersistError {
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "persisted payload rejected: {}", self.detail)
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// Feeds the knob grid's exact point sequence into a key.
+fn push_points(h: &mut KeyHasher, points: &[KnobPoint]) {
+    h.push_u64(points.len() as u64);
+    for p in points {
+        h.push_f64_bits(p.vth().0);
+        h.push_f64_bits(p.tox().0);
+    }
+}
+
+/// Feeds a circuit fingerprint into a key: the `Debug` rendering covers
+/// the configuration, the technology node (every fitted parameter and
+/// the operating temperature), the cell design, the subarray
+/// organisation and the cell-technology profile — everything the
+/// circuit model reads.
+fn push_circuit(h: &mut KeyHasher, circuit: &CacheCircuit) {
+    h.push_str(&format!("{circuit:?}"));
+}
+
+/// The content key of one component metric surface.
+pub fn surface_key(circuit: &CacheCircuit, component: ComponentId, points: &[KnobPoint]) -> u128 {
+    let mut h = KeyHasher::new();
+    h.push_str("nmcache.surface");
+    h.push_u64(u64::from(PERSIST_FORMAT_VERSION));
+    push_circuit(&mut h, circuit);
+    h.push_u64(component.index() as u64);
+    push_points(&mut h, points);
+    h.finish()
+}
+
+/// The content key of one hierarchy spec's merged Pareto front.
+pub fn front_key(spec: &HierarchySpec, points: &[KnobPoint]) -> u128 {
+    let mut h = KeyHasher::new();
+    h.push_str("nmcache.front");
+    h.push_u64(u64::from(PERSIST_FORMAT_VERSION));
+    h.push_u64(spec.levels().len() as u64);
+    for level in spec.levels() {
+        h.push_str(level.label());
+        push_circuit(&mut h, level.circuit());
+        h.push_str(&format!("{:?}", level.scheme()));
+        h.push_f64_bits(level.delay_weight());
+        h.push_str(&format!("{:?}", level.cost()));
+    }
+    push_points(&mut h, points);
+    h.finish()
+}
+
+/// Little-endian byte writer for the payload encodings.
+struct Writer {
+    out: Vec<u8>,
+}
+
+impl Writer {
+    fn new(kind: u8) -> Self {
+        let mut out = Vec::new();
+        out.push(kind);
+        out.extend_from_slice(&PERSIST_FORMAT_VERSION.to_le_bytes());
+        Writer { out }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f64_bits(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+}
+
+/// Little-endian cursor over a persisted payload.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8], kind: u8) -> Result<Self, PersistError> {
+        let mut r = Reader { bytes, at: 0 };
+        let got_kind = r.u8()?;
+        if got_kind != kind {
+            return Err(PersistError::new(format!(
+                "payload kind {got_kind} where {kind} was expected"
+            )));
+        }
+        let version = r.u32()?;
+        if version != PERSIST_FORMAT_VERSION {
+            return Err(PersistError::new(format!(
+                "payload format version {version} (this build reads {PERSIST_FORMAT_VERSION})"
+            )));
+        }
+        Ok(r)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| PersistError::new("payload truncated"))?;
+        let s = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, PersistError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, PersistError> {
+        let s = self.take(4)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, PersistError> {
+        let s = self.take(8)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(s);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn f64_bits(&mut self) -> Result<f64, PersistError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// A length field about to size an allocation: bounded by what the
+    /// payload could physically contain, so a corrupt count cannot
+    /// provoke a huge allocation before the truncation check fires.
+    fn count(&mut self, per_item_bytes: usize) -> Result<usize, PersistError> {
+        let n = self.u64()?;
+        let remaining = (self.bytes.len() - self.at) as u64;
+        if n.saturating_mul(per_item_bytes as u64) > remaining {
+            return Err(PersistError::new(format!(
+                "count {n} exceeds the payload's remaining {remaining} bytes"
+            )));
+        }
+        Ok(n as usize)
+    }
+
+    fn finish(self) -> Result<(), PersistError> {
+        if self.at != self.bytes.len() {
+            return Err(PersistError::new(format!(
+                "{} trailing bytes after the payload",
+                self.bytes.len() - self.at
+            )));
+        }
+        Ok(())
+    }
+
+    fn knob_point(&mut self) -> Result<KnobPoint, PersistError> {
+        let vth = self.f64_bits()?;
+        let tox = self.f64_bits()?;
+        KnobPoint::new(Volts(vth), Angstroms(tox))
+            .map_err(|e| PersistError::new(format!("stored knob point out of range: {e}")))
+    }
+}
+
+/// Encodes a component surface: points, then the eight metric buffers in
+/// point order, all as raw bit patterns.
+pub fn encode_surface(surface: &ComponentSurface) -> Vec<u8> {
+    let mut w = Writer::new(KIND_SURFACE);
+    let n = surface.len();
+    w.u64(n as u64);
+    for p in surface.points() {
+        w.f64_bits(p.vth().0);
+        w.f64_bits(p.tox().0);
+    }
+    for buffer in [
+        surface.delays(),
+        surface.subthreshold_leakages(),
+        surface.gate_leakages(),
+        surface.junction_leakages(),
+        surface.read_energies(),
+        surface.write_energies(),
+        surface.areas(),
+    ] {
+        for &v in buffer {
+            w.f64_bits(v);
+        }
+    }
+    for &t in surface.transistor_counts() {
+        w.u64(t);
+    }
+    w.out
+}
+
+/// Decodes a surface payload back to a bit-identical [`ComponentSurface`].
+///
+/// # Errors
+///
+/// [`PersistError`] on any structural mismatch — truncation, wrong kind
+/// or version, out-of-range knob values, trailing bytes.
+pub fn decode_surface(bytes: &[u8]) -> Result<ComponentSurface, PersistError> {
+    let mut r = Reader::new(bytes, KIND_SURFACE)?;
+    // Each point costs 16 bytes up front plus 64 more across the metric
+    // buffers; 16 is the binding bound for the immediate reads.
+    let n = r.count(16)?;
+    let mut points = Vec::with_capacity(n);
+    for _ in 0..n {
+        points.push(r.knob_point()?);
+    }
+    let mut buffers: [Vec<f64>; 7] = Default::default();
+    for buffer in &mut buffers {
+        buffer.reserve_exact(n);
+        for _ in 0..n {
+            buffer.push(r.f64_bits()?);
+        }
+    }
+    let mut transistors = Vec::with_capacity(n);
+    for _ in 0..n {
+        transistors.push(r.u64()?);
+    }
+    r.finish()?;
+    let metrics: Vec<ComponentMetrics> = (0..n)
+        .map(|i| ComponentMetrics {
+            delay: Seconds(buffers[0][i]),
+            leakage: nm_device::leakage::LeakageBreakdown {
+                subthreshold: Watts(buffers[1][i]),
+                gate: Watts(buffers[2][i]),
+                junction: Watts(buffers[3][i]),
+            },
+            read_energy: Joules(buffers[4][i]),
+            write_energy: Joules(buffers[5][i]),
+            transistors: transistors[i],
+            area: SquareMicrons(buffers[6][i]),
+        })
+        .collect();
+    Ok(ComponentSurface::from_parts(points, metrics))
+}
+
+/// Encodes a merged Pareto front: per point, delay and cost bit
+/// patterns plus the knob choice vector.
+pub fn encode_front(front: &[FrontPoint]) -> Vec<u8> {
+    let mut w = Writer::new(KIND_FRONT);
+    w.u64(front.len() as u64);
+    for p in front {
+        w.f64_bits(p.delay);
+        w.f64_bits(p.cost);
+        w.u64(p.choice.len() as u64);
+        for k in &p.choice {
+            w.f64_bits(k.vth().0);
+            w.f64_bits(k.tox().0);
+        }
+    }
+    w.out
+}
+
+/// Decodes a front payload back to a bit-identical `Vec<FrontPoint>`.
+///
+/// # Errors
+///
+/// [`PersistError`] on any structural mismatch (see
+/// [`decode_surface`]).
+pub fn decode_front(bytes: &[u8]) -> Result<Vec<FrontPoint>, PersistError> {
+    let mut r = Reader::new(bytes, KIND_FRONT)?;
+    // A front point is at least delay + cost + choice length: 24 bytes.
+    let n = r.count(24)?;
+    let mut front = Vec::with_capacity(n);
+    for _ in 0..n {
+        let delay = r.f64_bits()?;
+        let cost = r.f64_bits()?;
+        let groups = r.count(16)?;
+        let mut choice = Vec::with_capacity(groups);
+        for _ in 0..groups {
+            choice.push(r.knob_point()?);
+        }
+        front.push(FrontPoint {
+            delay,
+            cost,
+            choice,
+        });
+    }
+    r.finish()?;
+    Ok(front)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::groups::{CostKind, Scheme};
+    use nm_device::{KnobGrid, TechnologyNode};
+    use nm_geometry::CacheConfig;
+
+    fn circuit(bytes: u64) -> CacheCircuit {
+        let tech = TechnologyNode::bptm65();
+        CacheCircuit::new(CacheConfig::new(bytes, 64, 4).unwrap(), &tech)
+    }
+
+    #[test]
+    fn surface_round_trips_bit_identical() {
+        let c = circuit(16 * 1024);
+        let points: Vec<KnobPoint> = KnobGrid::coarse().points().collect();
+        let surface = c.component_surface(ComponentId::Decoder, &points);
+        let decoded = decode_surface(&encode_surface(&surface)).expect("round trip");
+        assert_eq!(decoded, surface);
+        // Bit-level check on every buffer, not just PartialEq.
+        for (a, b) in surface.delays().iter().zip(decoded.delays()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in surface.areas().iter().zip(decoded.areas()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(surface.transistor_counts(), decoded.transistor_counts());
+    }
+
+    #[test]
+    fn front_round_trips_bit_identical_including_signed_zero() {
+        let front = vec![
+            FrontPoint {
+                delay: 1.5e-9,
+                cost: -0.0, // signed zero must survive by bit pattern
+                choice: vec![KnobPoint::fastest(), KnobPoint::lowest_leakage()],
+            },
+            FrontPoint {
+                delay: 2.5e-9,
+                cost: 0.25,
+                choice: vec![KnobPoint::nominal()],
+            },
+        ];
+        let decoded = decode_front(&encode_front(&front)).expect("round trip");
+        assert_eq!(decoded.len(), 2);
+        assert_eq!(decoded[0].cost.to_bits(), (-0.0f64).to_bits());
+        assert_eq!(decoded, front);
+    }
+
+    #[test]
+    fn truncated_and_oversized_payloads_are_typed_errors() {
+        let front = vec![FrontPoint {
+            delay: 1.0,
+            cost: 2.0,
+            choice: vec![KnobPoint::nominal()],
+        }];
+        let bytes = encode_front(&front);
+        for cut in [0, 1, 4, bytes.len() - 1] {
+            assert!(decode_front(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        // Trailing garbage is rejected, not ignored.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(decode_front(&padded).is_err());
+        // A forged huge count fails the remaining-bytes bound instead of
+        // allocating.
+        let mut forged = bytes.clone();
+        forged[5..13].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = decode_front(&forged).expect_err("forged count");
+        assert!(err.detail.contains("count"), "{err}");
+        // Kind confusion is rejected.
+        assert!(decode_surface(&bytes).is_err());
+    }
+
+    #[test]
+    fn out_of_range_stored_knobs_are_rejected() {
+        let front = vec![FrontPoint {
+            delay: 1.0,
+            cost: 2.0,
+            choice: vec![KnobPoint::nominal()],
+        }];
+        let mut bytes = encode_front(&front);
+        // The choice's vth sits after kind(1)+version(4)+count(8)+
+        // delay(8)+cost(8)+choice_len(8) = 37 bytes.
+        bytes[37..45].copy_from_slice(&9.9f64.to_bits().to_le_bytes());
+        let err = decode_front(&bytes).expect_err("vth 9.9 is illegal");
+        assert!(err.detail.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn keys_separate_every_input() {
+        let points: Vec<KnobPoint> = KnobGrid::coarse().points().collect();
+        let c16 = circuit(16 * 1024);
+        let c32 = circuit(32 * 1024);
+        let base = surface_key(&c16, ComponentId::Decoder, &points);
+        assert_eq!(base, surface_key(&c16, ComponentId::Decoder, &points));
+        assert_ne!(base, surface_key(&c32, ComponentId::Decoder, &points));
+        assert_ne!(base, surface_key(&c16, ComponentId::MemoryArray, &points));
+        assert_ne!(
+            base,
+            surface_key(&c16, ComponentId::Decoder, &points[..points.len() - 1])
+        );
+        // A different temperature is a different technology node — and a
+        // different key.
+        let tech =
+            TechnologyNode::bptm65().at_temperature(nm_device::units::Kelvin::from_celsius(100.0));
+        let hot = CacheCircuit::new(CacheConfig::new(16 * 1024, 64, 4).unwrap(), &tech);
+        assert_ne!(base, surface_key(&hot, ComponentId::Decoder, &points));
+    }
+
+    #[test]
+    fn front_keys_separate_spec_shape() {
+        let points: Vec<KnobPoint> = KnobGrid::coarse().points().collect();
+        let spec = |w: f64| {
+            HierarchySpec::single(circuit(16 * 1024), Scheme::Split, w, CostKind::LeakagePower)
+        };
+        let a = front_key(&spec(1.0), &points);
+        assert_eq!(a, front_key(&spec(1.0), &points));
+        assert_ne!(a, front_key(&spec(0.5), &points));
+        let two = HierarchySpec::new()
+            .level(
+                "L1",
+                circuit(16 * 1024),
+                Scheme::Split,
+                1.0,
+                CostKind::LeakagePower,
+            )
+            .level(
+                "L2",
+                circuit(64 * 1024),
+                Scheme::Split,
+                0.05,
+                CostKind::LeakagePower,
+            );
+        assert_ne!(a, front_key(&two, &points));
+        // Surface and front keys never collide on the same material.
+        assert_ne!(
+            a,
+            surface_key(&circuit(16 * 1024), ComponentId::Decoder, &points)
+        );
+    }
+}

@@ -1,0 +1,207 @@
+//! Atomic whole-file replacement: temp file + fsync + rename.
+//!
+//! The one way to replace a file's contents such that a crash at any
+//! instant leaves either the complete old contents or the complete new
+//! contents — never a prefix, never an empty file:
+//!
+//! 1. write the new bytes to a temp file *in the same directory* (a
+//!    rename is only atomic within one filesystem),
+//! 2. `fsync` the temp file (data must be durable before it can become
+//!    the visible version),
+//! 3. `rename` over the destination (atomic on POSIX),
+//! 4. `fsync` the directory so the rename itself survives a crash.
+//!
+//! In-place truncate-then-rewrite is banned everywhere in the
+//! workspace: a crash between the truncate and the write leaves a
+//! half-written (or empty) file, which for a campaign checkpoint means
+//! losing every completed cell. All checkpoint and report writes go
+//! through [`write_atomic`].
+
+use crate::error::StoreError;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+
+/// Atomically replaces `dest` with `bytes` (temp + fsync + rename +
+/// directory fsync). On failure the destination is untouched — either
+/// the old complete contents remain, or (for a fresh path) no file
+/// exists; the temp file is cleaned up best-effort.
+///
+/// # Errors
+///
+/// [`StoreError::Io`] / [`StoreError::DiskFull`] when any step fails.
+pub fn write_atomic(dest: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    match write_atomic_inner(dest, bytes) {
+        Ok(()) => {
+            nm_telemetry::counter_inc(crate::names::STORE_ATOMIC_WRITES);
+            Ok(())
+        }
+        Err(e) => {
+            nm_telemetry::counter_inc(crate::names::STORE_ATOMIC_WRITE_ERRORS);
+            Err(e)
+        }
+    }
+}
+
+fn write_atomic_inner(dest: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    let dir = dest.parent().filter(|p| !p.as_os_str().is_empty());
+    let name = dest
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| StoreError::Io {
+            context: format!("atomic write to {}", dest.display()),
+            source: std::io::Error::other("destination has no file name"),
+        })?;
+    // Per-process-unique temp name in the same directory. Concurrent
+    // writers of the *same* destination within one process are already
+    // serialised by the callers (checkpoints go through one campaign
+    // loop); the pid guards against a crashed predecessor's leftovers
+    // colliding across processes.
+    let tmp_name = format!(".{name}.tmp.{}", std::process::id());
+    let tmp = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => Path::new(&tmp_name).to_path_buf(),
+    };
+
+    let result = write_tmp_then_rename(&tmp, dest, dir, bytes);
+    if result.is_err() {
+        // Best-effort cleanup; the failure to write is the real story.
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+fn write_tmp_then_rename(
+    tmp: &Path,
+    dest: &Path,
+    dir: Option<&Path>,
+    bytes: &[u8],
+) -> Result<(), StoreError> {
+    let mut file = OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(tmp)
+        .map_err(|e| StoreError::io(format!("create temp file {}", tmp.display()), e))?;
+
+    #[cfg(feature = "storefault")]
+    match crate::storefault::take(crate::storefault::OP_ATOMIC_WRITE) {
+        Some(crate::storefault::Fault::TruncateOnWrite) => {
+            return Err(StoreError::Io {
+                context: format!("write temp file {}", tmp.display()),
+                source: std::io::Error::other("storefault: crash before write"),
+            });
+        }
+        Some(crate::storefault::Fault::ShortWrite(n)) => {
+            let n = n.min(bytes.len());
+            file.write_all(&bytes[..n])
+                .and_then(|()| file.sync_all())
+                .map_err(|e| StoreError::io(format!("write temp file {}", tmp.display()), e))?;
+            return Err(StoreError::Io {
+                context: format!("write temp file {}", tmp.display()),
+                source: std::io::Error::other("storefault: crash mid-write (torn temp file)"),
+            });
+        }
+        Some(crate::storefault::Fault::BitFlip(offset)) => {
+            let mut flipped = bytes.to_vec();
+            if !flipped.is_empty() {
+                let at = offset % flipped.len();
+                flipped[at] ^= 0x01;
+            }
+            finish_write(&mut file, &flipped, tmp)?;
+            return rename_step(tmp, dest, dir);
+        }
+        Some(crate::storefault::Fault::DiskFull) => {
+            return Err(StoreError::DiskFull {
+                context: format!("write temp file {}", tmp.display()),
+            });
+        }
+        Some(crate::storefault::Fault::RenameFail) | None => {}
+    }
+
+    finish_write(&mut file, bytes, tmp)?;
+    rename_step(tmp, dest, dir)
+}
+
+fn finish_write(file: &mut File, bytes: &[u8], tmp: &Path) -> Result<(), StoreError> {
+    file.write_all(bytes)
+        .and_then(|()| file.sync_all())
+        .map_err(|e| StoreError::io(format!("write temp file {}", tmp.display()), e))
+}
+
+fn rename_step(tmp: &Path, dest: &Path, dir: Option<&Path>) -> Result<(), StoreError> {
+    #[cfg(feature = "storefault")]
+    if matches!(
+        crate::storefault::take(crate::storefault::OP_ATOMIC_RENAME),
+        Some(crate::storefault::Fault::RenameFail)
+    ) {
+        return Err(StoreError::Io {
+            context: format!("rename {} -> {}", tmp.display(), dest.display()),
+            source: std::io::Error::other("storefault: rename failed"),
+        });
+    }
+    std::fs::rename(tmp, dest).map_err(|e| {
+        StoreError::io(format!("rename {} -> {}", tmp.display(), dest.display()), e)
+    })?;
+    // Make the rename itself durable. Directory fsync is best-effort on
+    // platforms where opening a directory for write is not allowed.
+    if let Some(d) = dir {
+        if let Ok(dirf) = File::open(d) {
+            let _ = dirf.sync_all();
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("nm-store-atomic-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("mkdir {}: {e}", dir.display()));
+        dir
+    }
+
+    #[test]
+    fn replaces_contents_and_leaves_no_temp_behind() {
+        let dir = tmpdir("replace");
+        let dest = dir.join("table.txt");
+        write_atomic(&dest, b"first\n").unwrap_or_else(|e| panic!("{e}"));
+        write_atomic(&dest, b"second\n").unwrap_or_else(|e| panic!("{e}"));
+        let got = std::fs::read(&dest).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(got, b"second\n");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap_or_else(|e| panic!("{e}"))
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn destination_without_file_name_is_rejected() {
+        let err = write_atomic(Path::new("/"), b"x");
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn failure_leaves_old_contents_intact() {
+        let dir = tmpdir("intact");
+        let dest = dir.join("table.txt");
+        write_atomic(&dest, b"old\n").unwrap_or_else(|e| panic!("{e}"));
+        // Force a failure by making the directory read-only is platform
+        // sensitive; instead write through a path whose parent vanished.
+        let gone = dir.join("missing-subdir").join("table.txt");
+        assert!(write_atomic(&gone, b"new\n").is_err());
+        let got = std::fs::read(&dest).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(got, b"old\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,176 @@
+//! Typed failure classes of the persistence layer.
+//!
+//! The split matters to callers: `Io` and `DiskFull` mean the
+//! filesystem misbehaved (retryable, environment-dependent), while
+//! `Corrupt*` variants mean bytes on disk failed validation (the store
+//! quarantined them; recompute and rewrite). The CLI maps every variant
+//! to the documented persistence exit code (6); the evaluation engine
+//! instead counts them and falls back to in-memory operation — a broken
+//! store must never abort a study.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// Errors raised by the segment store and the atomic-write helpers.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// What the store was doing ("open segment", "append record", …).
+        context: String,
+        /// The operating-system error.
+        source: io::Error,
+    },
+    /// The device rejected a write for lack of space. Split from `Io`
+    /// because callers commonly degrade differently (stop persisting,
+    /// keep computing) when the disk is full.
+    DiskFull {
+        /// What the store was writing.
+        context: String,
+    },
+    /// A segment file's magic or format version is not this crate's —
+    /// the file is not a store segment, or was written by an
+    /// incompatible version.
+    IncompatibleSegment {
+        /// The offending file.
+        path: PathBuf,
+        /// Human-readable mismatch description.
+        detail: String,
+    },
+    /// A record failed checksum validation when it was *read back*
+    /// (post-open corruption, e.g. bit rot under a running process).
+    /// Open-time corruption is not an error — it is quarantined by
+    /// truncation and reported through [`OpenReport`](crate::OpenReport).
+    CorruptRecord {
+        /// Byte offset of the record header in the segment.
+        offset: u64,
+        /// What failed ("payload checksum mismatch", …).
+        detail: String,
+    },
+    /// A checkpoint-style whole-file read failed validation (bad magic,
+    /// truncation, checksum mismatch).
+    CorruptFile {
+        /// The offending file.
+        path: PathBuf,
+        /// What failed.
+        detail: String,
+    },
+    /// A record payload exceeds the format's size cap — almost
+    /// certainly a corrupt length field; refusing early keeps a flipped
+    /// length bit from provoking a multi-gigabyte allocation.
+    TooLarge {
+        /// Byte offset of the record header in the segment.
+        offset: u64,
+        /// The claimed payload length.
+        claimed: u64,
+    },
+}
+
+impl StoreError {
+    /// Wraps an I/O error with context, classifying `ENOSPC` as
+    /// [`DiskFull`](Self::DiskFull).
+    pub fn io(context: impl Into<String>, source: io::Error) -> Self {
+        let context = context.into();
+        if source.kind() == io::ErrorKind::StorageFull {
+            StoreError::DiskFull { context }
+        } else {
+            StoreError::Io { context, source }
+        }
+    }
+
+    /// `true` for corruption classes (quarantinable bytes), `false` for
+    /// environmental I/O failures.
+    pub fn is_corruption(&self) -> bool {
+        matches!(
+            self,
+            StoreError::CorruptRecord { .. }
+                | StoreError::CorruptFile { .. }
+                | StoreError::IncompatibleSegment { .. }
+                | StoreError::TooLarge { .. }
+        )
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { context, source } => write!(f, "store: {context}: {source}"),
+            StoreError::DiskFull { context } => {
+                write!(f, "store: {context}: no space left on device")
+            }
+            StoreError::IncompatibleSegment { path, detail } => {
+                write!(
+                    f,
+                    "store: {} is not a compatible segment: {detail}",
+                    path.display()
+                )
+            }
+            StoreError::CorruptRecord { offset, detail } => {
+                write!(f, "store: corrupt record at byte {offset}: {detail}")
+            }
+            StoreError::CorruptFile { path, detail } => {
+                write!(f, "store: {} is corrupt: {detail}", path.display())
+            }
+            StoreError::TooLarge { offset, claimed } => write!(
+                f,
+                "store: record at byte {offset} claims a {claimed}-byte payload \
+                 (over the format cap; treating as corrupt)"
+            ),
+        }
+    }
+}
+
+impl Error for StoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_splits_corruption_from_io() {
+        let io = StoreError::io("append record", io::Error::other("boom"));
+        assert!(!io.is_corruption());
+        assert!(io.source().is_some());
+        assert!(io.to_string().contains("append record"));
+
+        let full = StoreError::io(
+            "append record",
+            io::Error::new(io::ErrorKind::StorageFull, "enospc"),
+        );
+        assert!(matches!(full, StoreError::DiskFull { .. }));
+        assert!(full.to_string().contains("no space left"));
+
+        let corrupt = StoreError::CorruptRecord {
+            offset: 42,
+            detail: "payload checksum mismatch".into(),
+        };
+        assert!(corrupt.is_corruption());
+        assert!(corrupt.to_string().contains("byte 42"));
+    }
+
+    #[test]
+    fn too_large_and_incompatible_report_details() {
+        let e = StoreError::TooLarge {
+            offset: 8,
+            claimed: u64::MAX,
+        };
+        assert!(e.is_corruption());
+        assert!(e.to_string().contains("format cap"));
+
+        let e = StoreError::IncompatibleSegment {
+            path: PathBuf::from("seg.nms"),
+            detail: "bad magic".into(),
+        };
+        assert!(e.to_string().contains("seg.nms"));
+    }
+}

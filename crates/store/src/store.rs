@@ -1,0 +1,405 @@
+//! The content-addressed segment store.
+//!
+//! One [`Store`] owns one append-only segment file plus an in-memory
+//! key → record index rebuilt by scanning the segment on open. Writes
+//! are append-only; a key is immutable once written (content-addressed:
+//! equal keys imply equal payloads), so a duplicate `put` is a no-op.
+//!
+//! Durability posture:
+//! * every record is checksummed (header and payload separately);
+//! * opening applies the torn-write truncation rule — the file is
+//!   physically truncated at the first invalid record, everything
+//!   before it is recovered, and the damage is reported through
+//!   [`OpenReport`] (and the `store.*` telemetry counters), never
+//!   silently ignored;
+//! * [`get`](Store::get) re-verifies the payload checksum on every
+//!   read, so a record that rots *after* open is an error, not data;
+//! * a failed append attempts rollback to the pre-append length; if
+//!   rollback itself fails the store wedges (subsequent `put`s fail
+//!   fast, `get`s keep working) rather than risk losing later appends
+//!   to a mid-file tear.
+
+use crate::error::StoreError;
+use crate::segment;
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, RwLock};
+
+/// What opening a store found on disk.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OpenReport {
+    /// `true` when the segment file did not exist and was created.
+    pub created: bool,
+    /// Valid records recovered from the segment.
+    pub salvaged_records: u64,
+    /// Best-effort count of records lost to the truncated tail
+    /// (attempted appends included; 0 when boundaries were lost).
+    pub dropped_records: u64,
+    /// Bytes removed by torn-write truncation.
+    pub dropped_bytes: u64,
+    /// Offset the segment was truncated at, when damage was found.
+    pub truncated_at: Option<u64>,
+    /// Detail of the first corruption, when damage was found.
+    pub corruption: Option<String>,
+}
+
+impl OpenReport {
+    /// `true` when the open found (and quarantined) damage.
+    pub fn salvage_performed(&self) -> bool {
+        self.truncated_at.is_some()
+    }
+}
+
+/// Index entry: where a key's payload lives and its stored checksum.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    payload_offset: u64,
+    payload_len: u32,
+    payload_fnv: u64,
+}
+
+/// A content-addressed, checksummed, append-only key → bytes store.
+#[derive(Debug)]
+pub struct Store {
+    path: PathBuf,
+    file: Mutex<File>,
+    index: RwLock<BTreeMap<u128, Slot>>,
+    report: OpenReport,
+    wedged: AtomicBool,
+}
+
+/// The segment file name inside a store directory. A single segment is
+/// enough for the current workloads; the name leaves room for a
+/// multi-segment layout without a format break.
+pub const SEGMENT_FILE: &str = "segment-000.nms";
+
+impl Store {
+    /// Opens (creating if needed) the store rooted at `dir`.
+    ///
+    /// A damaged segment is *not* an error: the scan truncates at the
+    /// first invalid record, recovers everything before it, and reports
+    /// the loss in the returned [`OpenReport`] (also available later
+    /// via [`open_report`](Self::open_report)). Only environmental
+    /// failures (unreadable directory, I/O errors) and a file that is
+    /// not a compatible segment at all are errors.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] for filesystem failures and
+    /// [`StoreError::IncompatibleSegment`] when the file exists but was
+    /// not written by this format.
+    pub fn open(dir: &Path) -> Result<Self, StoreError> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| StoreError::io(format!("create store dir {}", dir.display()), e))?;
+        let path = dir.join(SEGMENT_FILE);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(|e| StoreError::io(format!("open segment {}", path.display()), e))?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)
+            .map_err(|e| StoreError::io(format!("read segment {}", path.display()), e))?;
+
+        let mut report = OpenReport::default();
+        let header = segment::file_header();
+        if bytes.len() < header.len() {
+            // Empty file: fresh store. A non-empty proper prefix of the
+            // header is a creation torn mid-write: also fresh, but the
+            // tear is reported. Anything else is not our file.
+            if !header.starts_with(&bytes) {
+                return Err(StoreError::IncompatibleSegment {
+                    path,
+                    detail: "file header is not a segment header".into(),
+                });
+            }
+            report.created = bytes.is_empty();
+            if !bytes.is_empty() {
+                report.truncated_at = Some(0);
+                report.dropped_bytes = bytes.len() as u64;
+                report.corruption = Some("torn segment creation".into());
+            }
+            file.set_len(0)
+                .and_then(|()| file.seek(SeekFrom::Start(0)).map(|_| ()))
+                .and_then(|()| file.write_all(&header))
+                .and_then(|()| file.sync_data())
+                .map_err(|e| StoreError::io(format!("initialize segment {}", path.display()), e))?;
+            nm_telemetry::counter_inc(crate::names::STORE_OPENS);
+            return Ok(Store {
+                path,
+                file: Mutex::new(file),
+                index: RwLock::new(BTreeMap::new()),
+                report,
+                wedged: AtomicBool::new(false),
+            });
+        }
+        if bytes[..4] != segment::MAGIC {
+            return Err(StoreError::IncompatibleSegment {
+                path,
+                detail: format!("bad magic {:02x?}", &bytes[..4]),
+            });
+        }
+        let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+        if version != segment::FORMAT_VERSION {
+            return Err(StoreError::IncompatibleSegment {
+                path,
+                detail: format!(
+                    "format version {version} (this build reads {})",
+                    segment::FORMAT_VERSION
+                ),
+            });
+        }
+
+        let outcome = segment::scan(&bytes);
+        report.salvaged_records = outcome.records.len() as u64;
+        report.dropped_records = outcome.dropped_records;
+        report.truncated_at = outcome.truncate_at;
+        report.corruption = outcome.corruption;
+        if let Some(at) = outcome.truncate_at {
+            report.dropped_bytes = bytes.len() as u64 - at;
+            file.set_len(at)
+                .and_then(|()| file.sync_data())
+                .map_err(|e| {
+                    StoreError::io(format!("truncate torn tail of {}", path.display()), e)
+                })?;
+        }
+        let mut index = BTreeMap::new();
+        for r in outcome.records {
+            // Append order: a later record for the same key wins.
+            index.insert(
+                r.key,
+                Slot {
+                    payload_offset: r.payload_offset,
+                    payload_len: r.payload_len,
+                    payload_fnv: r.payload_fnv,
+                },
+            );
+        }
+        nm_telemetry::counter_inc(crate::names::STORE_OPENS);
+        nm_telemetry::counter_add(
+            crate::names::STORE_SALVAGED_RECORDS,
+            report.salvaged_records,
+        );
+        nm_telemetry::counter_add(crate::names::STORE_DROPPED_RECORDS, report.dropped_records);
+        nm_telemetry::counter_add(crate::names::STORE_DROPPED_BYTES, report.dropped_bytes);
+        Ok(Store {
+            path,
+            file: Mutex::new(file),
+            index: RwLock::new(index),
+            report,
+            wedged: AtomicBool::new(false),
+        })
+    }
+
+    /// The segment file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// What the open-time scan found.
+    pub fn open_report(&self) -> &OpenReport {
+        &self.report
+    }
+
+    /// Number of distinct keys currently readable.
+    pub fn len(&self) -> usize {
+        self.index
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .len()
+    }
+
+    /// `true` when no keys are readable.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` when a key is present (without reading its payload).
+    pub fn contains(&self, key: u128) -> bool {
+        self.index
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .contains_key(&key)
+    }
+
+    /// `true` when an earlier append failure wedged the store (reads
+    /// still work; writes fail fast).
+    pub fn is_wedged(&self) -> bool {
+        self.wedged.load(Ordering::Relaxed)
+    }
+
+    /// Reads the payload stored under `key`, re-verifying its checksum.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the segment cannot be read and
+    /// [`StoreError::CorruptRecord`] when the stored bytes no longer
+    /// match their checksum (post-open rot) — a checksum-failing record
+    /// is never returned as data.
+    pub fn get(&self, key: u128) -> Result<Option<Vec<u8>>, StoreError> {
+        let slot = {
+            let index = self
+                .index
+                .read()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            match index.get(&key) {
+                Some(slot) => *slot,
+                None => {
+                    nm_telemetry::counter_inc(crate::names::STORE_MISSES);
+                    return Ok(None);
+                }
+            }
+        };
+        let mut payload = vec![0u8; slot.payload_len as usize];
+        {
+            let mut file = self
+                .file
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            file.seek(SeekFrom::Start(slot.payload_offset))
+                .and_then(|_| file.read_exact(&mut payload))
+                .map_err(|e| {
+                    StoreError::io(format!("read record from {}", self.path.display()), e)
+                })?;
+        }
+        if crate::fnv::fnv1a_64(&payload) != slot.payload_fnv {
+            nm_telemetry::counter_inc(crate::names::STORE_CORRUPT_RECORDS);
+            return Err(StoreError::CorruptRecord {
+                offset: slot.payload_offset - segment::RECORD_HEADER_LEN,
+                detail: "payload checksum mismatch on read-back".into(),
+            });
+        }
+        nm_telemetry::counter_inc(crate::names::STORE_HITS);
+        Ok(Some(payload))
+    }
+
+    /// Appends `payload` under `key`. Returns `Ok(false)` without
+    /// writing when the key is already present (content-addressed:
+    /// equal keys imply equal payloads).
+    ///
+    /// On an append failure the store rolls the segment back to its
+    /// pre-append length; if rollback fails too, the store wedges —
+    /// later `put`s fail fast so a torn mid-file record can never be
+    /// followed by appends that open-time truncation would drop.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] / [`StoreError::DiskFull`] when the append
+    /// cannot complete.
+    pub fn put(&self, key: u128, payload: &[u8]) -> Result<bool, StoreError> {
+        if u64::try_from(payload.len()).unwrap_or(u64::MAX) > segment::MAX_PAYLOAD {
+            return Err(StoreError::TooLarge {
+                offset: 0,
+                claimed: payload.len() as u64,
+            });
+        }
+        if self.is_wedged() {
+            return Err(StoreError::Io {
+                context: format!("append to {}", self.path.display()),
+                source: std::io::Error::other("store wedged by an earlier torn append"),
+            });
+        }
+        if self.contains(key) {
+            nm_telemetry::counter_inc(crate::names::STORE_PUTS_SKIPPED);
+            return Ok(false);
+        }
+        let record = segment::encode_record(key, payload);
+        let mut file = self
+            .file
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let start = file
+            .seek(SeekFrom::End(0))
+            .map_err(|e| StoreError::io(format!("seek {}", self.path.display()), e))?;
+        match self.write_record(&mut file, &record) {
+            Ok(()) => {
+                let mut index = self
+                    .index
+                    .write()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                index.insert(
+                    key,
+                    Slot {
+                        payload_offset: start + segment::RECORD_HEADER_LEN,
+                        payload_len: payload.len() as u32,
+                        payload_fnv: crate::fnv::fnv1a_64(payload),
+                    },
+                );
+                nm_telemetry::counter_inc(crate::names::STORE_PUTS);
+                Ok(true)
+            }
+            Err(e) => {
+                nm_telemetry::counter_inc(crate::names::STORE_PUT_ERRORS);
+                // Quarantine the possibly-torn tail: roll back, or wedge
+                // if even that fails. A store already wedged mid-write
+                // (simulated crash) keeps its torn bytes — a real crash
+                // could not have rolled them back either; reopen-time
+                // salvage is the recovery path.
+                if !self.is_wedged() && file.set_len(start).and_then(|()| file.sync_data()).is_err()
+                {
+                    self.wedged.store(true, Ordering::Relaxed);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// The append inner step, with `storefault` injection when armed.
+    fn write_record(&self, file: &mut File, record: &[u8]) -> Result<(), StoreError> {
+        let context = || format!("append record to {}", self.path.display());
+        #[cfg(feature = "storefault")]
+        match crate::storefault::take(crate::storefault::OP_APPEND) {
+            Some(crate::storefault::Fault::TruncateOnWrite) => {
+                return Err(StoreError::Io {
+                    context: context(),
+                    source: std::io::Error::other("storefault: crash before write"),
+                });
+            }
+            Some(crate::storefault::Fault::ShortWrite(n)) => {
+                let n = n.min(record.len());
+                file.write_all(&record[..n])
+                    .and_then(|()| file.sync_data())
+                    .map_err(|e| StoreError::io(context(), e))?;
+                // Simulated crash mid-append: the torn bytes stay on
+                // disk and rollback is suppressed by wedging first.
+                self.wedged.store(true, Ordering::Relaxed);
+                return Err(StoreError::Io {
+                    context: context(),
+                    source: std::io::Error::other("storefault: crash mid-write (torn record)"),
+                });
+            }
+            Some(crate::storefault::Fault::BitFlip(offset)) => {
+                let mut flipped = record.to_vec();
+                let at = offset % flipped.len();
+                flipped[at] ^= 0x01;
+                return file
+                    .write_all(&flipped)
+                    .map_err(|e| StoreError::io(context(), e));
+            }
+            Some(crate::storefault::Fault::DiskFull) => {
+                return Err(StoreError::DiskFull { context: context() });
+            }
+            Some(crate::storefault::Fault::RenameFail) | None => {}
+        }
+        file.write_all(record)
+            .map_err(|e| StoreError::io(context(), e))
+    }
+
+    /// Flushes the segment to stable storage.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when `fsync` fails.
+    pub fn sync(&self) -> Result<(), StoreError> {
+        self.file
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .sync_data()
+            .map_err(|e| StoreError::io(format!("sync {}", self.path.display()), e))
+    }
+}

@@ -1,0 +1,172 @@
+//! Deterministic storage-fault injection, mirroring
+//! `nm_sweep::faultinject`.
+//!
+//! Enabled only under the `storefault` cargo feature; production builds
+//! compile none of this. Faults are *armed* ahead of a run against an
+//! operation label (`"append"`, `"atomic.write"`, `"atomic.rename"`)
+//! and a zero-based operation index, and *consumed* as the store
+//! reaches the matching operation — each armed fault fires a bounded
+//! number of times and then disarms. No wall-clock randomness anywhere.
+//!
+//! The plan is process-global: tests that arm faults must serialise
+//! against each other (e.g. with a shared mutex) and [`clear`] the plan
+//! when done — operation counters reset with it.
+
+use std::sync::Mutex;
+
+/// Operation label: a record append to a segment file.
+pub const OP_APPEND: &str = "append";
+/// Operation label: the temp-file write step of an atomic write.
+pub const OP_ATOMIC_WRITE: &str = "atomic.write";
+/// Operation label: the rename step of an atomic write.
+pub const OP_ATOMIC_RENAME: &str = "atomic.rename";
+
+/// A storage fault to inject at one `(operation, index)` coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The write fails before a single byte lands (crash-before-write).
+    TruncateOnWrite,
+    /// Only the first `n` bytes of the buffer land, then the write
+    /// fails (crash mid-write — the canonical torn record).
+    ShortWrite(usize),
+    /// Bit 0 of the byte at `offset % len` is flipped before the buffer
+    /// is written; the write itself "succeeds" (silent corruption,
+    /// caught later by checksums).
+    BitFlip(usize),
+    /// The rename step of an atomic write fails; the temp file is left
+    /// behind and the destination is untouched.
+    RenameFail,
+    /// The device reports no space; nothing is written.
+    DiskFull,
+}
+
+#[derive(Debug)]
+struct Armed {
+    op: &'static str,
+    index: u64,
+    fault: Fault,
+    remaining: usize,
+}
+
+#[derive(Debug, Default)]
+struct Plan {
+    armed: Vec<Armed>,
+    /// Per-operation sequence counters, advanced on every consume poll.
+    counters: Vec<(&'static str, u64)>,
+}
+
+static PLAN: Mutex<Plan> = Mutex::new(Plan {
+    armed: Vec::new(),
+    counters: Vec::new(),
+});
+
+fn plan() -> std::sync::MutexGuard<'static, Plan> {
+    PLAN.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Arms `fault` for the `index`-th future operation labelled `op`
+/// (indices count from the most recent [`clear`]). The fault fires on
+/// the next `times` matching operations at that index, then disarms.
+pub fn arm(op: &'static str, index: u64, fault: Fault, times: usize) {
+    if times == 0 {
+        return;
+    }
+    plan().armed.push(Armed {
+        op,
+        index,
+        fault,
+        remaining: times,
+    });
+}
+
+/// Disarms every fault and resets all operation counters.
+pub fn clear() {
+    let mut p = plan();
+    p.armed.clear();
+    p.counters.clear();
+}
+
+/// Number of armed (not yet fully fired) faults.
+pub fn armed() -> usize {
+    plan().armed.len()
+}
+
+/// Called by the store at each fault-injectable operation: advances the
+/// operation counter for `op` and returns the armed fault for this
+/// coordinate, if any.
+pub(crate) fn take(op: &'static str) -> Option<Fault> {
+    let mut p = plan();
+    let seq = match p.counters.iter_mut().find(|(o, _)| *o == op) {
+        Some((_, c)) => {
+            let seq = *c;
+            *c += 1;
+            seq
+        }
+        None => {
+            p.counters.push((op, 1));
+            0
+        }
+    };
+    let pos = p.armed.iter().position(|a| a.op == op && a.index == seq)?;
+    let fault = p.armed[pos].fault;
+    p.armed[pos].remaining -= 1;
+    if p.armed[pos].remaining == 0 {
+        p.armed.remove(pos);
+    }
+    Some(fault)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    /// The plan is process-global; tests serialise on this.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn guard() -> MutexGuard<'static, ()> {
+        clear();
+        LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    #[test]
+    fn fires_at_the_indexed_operation_then_disarms() {
+        let _g = guard();
+        clear();
+        arm(OP_APPEND, 2, Fault::DiskFull, 1);
+        assert_eq!(take(OP_APPEND), None); // op 0
+        assert_eq!(take(OP_APPEND), None); // op 1
+        assert_eq!(take(OP_APPEND), Some(Fault::DiskFull)); // op 2
+        assert_eq!(take(OP_APPEND), None);
+        assert_eq!(armed(), 0);
+        clear();
+    }
+
+    #[test]
+    fn labels_are_independent_and_counters_reset_on_clear() {
+        let _g = guard();
+        clear();
+        arm(OP_ATOMIC_RENAME, 0, Fault::RenameFail, 1);
+        assert_eq!(take(OP_APPEND), None);
+        assert_eq!(take(OP_ATOMIC_WRITE), None);
+        assert_eq!(take(OP_ATOMIC_RENAME), Some(Fault::RenameFail));
+        clear();
+        arm(OP_APPEND, 0, Fault::ShortWrite(3), 2);
+        assert_eq!(take(OP_APPEND), Some(Fault::ShortWrite(3)));
+        // times=2 at a fixed index: only one op ever has that index, so
+        // the second charge stays armed (documented: bounded by times).
+        assert_eq!(armed(), 1);
+        clear();
+        assert_eq!(armed(), 0);
+    }
+
+    #[test]
+    fn zero_times_is_a_no_op() {
+        let _g = guard();
+        clear();
+        arm(OP_APPEND, 0, Fault::BitFlip(7), 0);
+        assert_eq!(armed(), 0);
+        assert_eq!(take(OP_APPEND), None);
+        clear();
+    }
+}

@@ -1,0 +1,189 @@
+//! Fault-injected durability suite (`--features storefault`).
+//!
+//! Each test arms a deterministic storage fault at an exact operation
+//! index, drives the store into it, and asserts the recovery contract:
+//! failed writes never corrupt earlier data, torn appends are
+//! quarantined on reopen, atomic writes leave either the complete old
+//! file or the complete new file, and silent bit flips are caught by
+//! checksums at the first read.
+
+#![cfg(feature = "storefault")]
+
+use nm_store::storefault::{self, Fault, OP_APPEND, OP_ATOMIC_RENAME, OP_ATOMIC_WRITE};
+use nm_store::{write_atomic, Store, StoreError};
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard};
+
+/// The fault plan is process-global; every test serialises on this.
+static PLAN_LOCK: Mutex<()> = Mutex::new(());
+
+fn armed(tag: &str) -> (MutexGuard<'static, ()>, PathBuf) {
+    let guard = PLAN_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    storefault::clear();
+    let dir = std::env::temp_dir().join(format!("nm-storefault-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    (guard, dir)
+}
+
+fn open(dir: &PathBuf) -> Store {
+    Store::open(dir).unwrap_or_else(|e| panic!("open {}: {e}", dir.display()))
+}
+
+#[test]
+fn crash_before_append_loses_only_the_new_record() {
+    let (_g, dir) = armed("truncate-on-write");
+    let store = open(&dir);
+    store.put(1, b"safe").unwrap_or_else(|e| panic!("{e}"));
+    storefault::arm(OP_APPEND, 1, Fault::TruncateOnWrite, 1);
+    assert!(store.put(2, b"never lands").is_err());
+    storefault::clear();
+    // Nothing was written: the store is not wedged and key 1 is intact.
+    assert!(!store.is_wedged());
+    assert_eq!(
+        store.get(1).unwrap_or_else(|e| panic!("{e}")).as_deref(),
+        Some(b"safe".as_slice())
+    );
+    assert_eq!(store.get(2).unwrap_or_else(|e| panic!("{e}")), None);
+    // And the failed key can be retried successfully.
+    assert!(store.put(2, b"lands now").unwrap_or_else(|e| panic!("{e}")));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn short_write_wedges_the_store_and_reopen_salvages() {
+    let (_g, dir) = armed("short-write");
+    {
+        let store = open(&dir);
+        store
+            .put(1, b"before the tear")
+            .unwrap_or_else(|e| panic!("{e}"));
+        storefault::arm(OP_APPEND, 1, Fault::ShortWrite(10), 1);
+        assert!(store.put(2, b"torn mid-append").is_err());
+        storefault::clear();
+        // The torn bytes are on disk; the store must refuse further
+        // appends (they would sit past a tear and be truncated away on
+        // the next open) while reads keep working.
+        assert!(store.is_wedged());
+        assert!(store.put(3, b"must fail fast").is_err());
+        assert_eq!(
+            store.get(1).unwrap_or_else(|e| panic!("{e}")).as_deref(),
+            Some(b"before the tear".as_slice())
+        );
+    }
+    // Reopen: the tear is quarantined, record 1 salvaged, writes work.
+    let store = open(&dir);
+    let report = store.open_report();
+    assert!(report.salvage_performed());
+    assert_eq!(report.salvaged_records, 1);
+    assert!(!store.is_wedged());
+    assert!(store
+        .put(2, b"after recovery")
+        .unwrap_or_else(|e| panic!("{e}")));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bit_flip_is_caught_on_reopen_not_served() {
+    let (_g, dir) = armed("bit-flip");
+    {
+        let store = open(&dir);
+        store.put(1, b"clean").unwrap_or_else(|e| panic!("{e}"));
+        storefault::arm(OP_APPEND, 1, Fault::BitFlip(40), 1);
+        // The write "succeeds" — silent corruption.
+        assert!(store
+            .put(2, b"silently flipped")
+            .unwrap_or_else(|e| panic!("{e}")));
+        storefault::clear();
+    }
+    let store = open(&dir);
+    let report = store.open_report();
+    assert!(report.salvage_performed(), "flip must be detected by scan");
+    assert_eq!(report.salvaged_records, 1);
+    assert_eq!(report.dropped_records, 1);
+    assert_eq!(store.get(2).unwrap_or_else(|e| panic!("{e}")), None);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn disk_full_append_is_a_clean_typed_error() {
+    let (_g, dir) = armed("disk-full");
+    let store = open(&dir);
+    storefault::arm(OP_APPEND, 0, Fault::DiskFull, 1);
+    match store.put(1, b"no space") {
+        Err(StoreError::DiskFull { .. }) => {}
+        other => panic!("expected DiskFull, got {other:?}"),
+    }
+    storefault::clear();
+    assert!(!store.is_wedged());
+    assert!(store.put(1, b"no space").unwrap_or_else(|e| panic!("{e}")));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn atomic_write_crash_leaves_old_contents_complete() {
+    let (_g, dir) = armed("atomic-crash");
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("{e}"));
+    let dest = dir.join("checkpoint.nmck");
+    write_atomic(&dest, b"generation 1, complete\n").unwrap_or_else(|e| panic!("{e}"));
+    storefault::clear(); // reset op counters so each arm below targets index 0
+
+    for fault in [
+        Fault::TruncateOnWrite,
+        Fault::ShortWrite(5),
+        Fault::DiskFull,
+    ] {
+        storefault::arm(OP_ATOMIC_WRITE, 0, fault, 1);
+        assert!(write_atomic(&dest, b"generation 2, torn\n").is_err());
+        storefault::clear();
+        let got = std::fs::read(&dest).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(
+            got, b"generation 1, complete\n",
+            "old contents must survive a {fault:?} intact"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn rename_failure_keeps_the_destination_untouched() {
+    let (_g, dir) = armed("rename-fail");
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("{e}"));
+    let dest = dir.join("checkpoint.nmck");
+    write_atomic(&dest, b"old\n").unwrap_or_else(|e| panic!("{e}"));
+    storefault::arm(OP_ATOMIC_RENAME, 1, Fault::RenameFail, 1);
+    assert!(write_atomic(&dest, b"new\n").is_err());
+    storefault::clear();
+    let got = std::fs::read(&dest).unwrap_or_else(|e| panic!("{e}"));
+    assert_eq!(got, b"old\n");
+    // The next attempt (no fault armed) succeeds.
+    write_atomic(&dest, b"new\n").unwrap_or_else(|e| panic!("{e}"));
+    assert_eq!(
+        std::fs::read(&dest).unwrap_or_else(|e| panic!("{e}")),
+        b"new\n"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn atomic_bit_flip_is_visible_to_whole_file_checksums() {
+    let (_g, dir) = armed("atomic-flip");
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("{e}"));
+    let dest = dir.join("table.txt");
+    let clean = b"row 1\nrow 2\nrow 3\n";
+    storefault::arm(OP_ATOMIC_WRITE, 0, Fault::BitFlip(3), 1);
+    write_atomic(&dest, clean).unwrap_or_else(|e| panic!("{e}"));
+    storefault::clear();
+    let got = std::fs::read(&dest).unwrap_or_else(|e| panic!("{e}"));
+    assert_ne!(got, clean.as_slice(), "the injected flip must land");
+    assert_eq!(got.len(), clean.len());
+    // Exactly one bit differs — what a whole-file FNV will catch.
+    let diff: u32 = got
+        .iter()
+        .zip(clean.iter())
+        .map(|(a, b)| (a ^ b).count_ones())
+        .sum();
+    assert_eq!(diff, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -29,12 +29,30 @@ COMMANDS:
   split-l1             Extension: split I$/D$ vs unified L1
   trace-sim            Replay a trace file through an L1/L2 hierarchy
   e8                   E8: 3-level mixed-technology hierarchy (SRAM/eDRAM/STT-MRAM)
+  campaign             Crash-resumable cross-product sweep with checkpoints
   analyze              Run the D1-D6 determinism & safety lints over the workspace
 
 ANALYZE OPTIONS (only valid after `analyze`):
   --json <PATH>        Also write the findings as schema-versioned JSON
   --rules <IDS>        Comma-separated rule subset, e.g. D1,D4 (default all)
   --root <PATH>        Workspace root to scan (default .)
+
+CAMPAIGN OPTIONS (only valid after `campaign`):
+  --out <DIR>          Campaign directory: checkpoint + persistent store (required)
+  --l1-sizes <KBS>     Comma-separated L1 axis in KB (default 16,32)
+  --l2-sizes <KBS>     Comma-separated L2 axis in KB (default 256,1024)
+  --schemes <NAMES>    Comma-separated schemes (default uniform,split)
+  --techs <NAMES>      Comma-separated L2 technologies (default sram)
+  --temps <CELSIUS>    Comma-separated temperatures in C (default 80)
+  --slack <FRACTION>   AMAT slack per cell over its fastest corner (default 0.15)
+  --quick              Shorter simulations and the coarse knob grid
+  --checkpoint-every <N>  Cells between atomic checkpoint rewrites (default 8)
+  --max-cells <N>      Compute at most N new cells this run, then stop
+                       (the checkpoint still lands; rerun to resume)
+  --fresh              Discard an existing checkpoint and restart
+  --require-store      Fail (exit 6) if the store cannot open, instead of
+                       continuing without persistence
+  --csv <PATH>         Also write the result table as CSV
 
 OPTIONS:
   --quick              Shorter architectural simulations (tests/smoke)
@@ -67,6 +85,8 @@ EXIT CODES:
   3  study or model error; for analyze: findings or stale allowlist entries
   4  trace format error (parse failure, corrupt/truncated binary)
   5  I/O error (missing trace file, unwritable CSV path)
+  6  persistence error (corrupt or mismatched campaign checkpoint,
+     checkpoint write failure, or --require-store with no usable store)
 ";
 
 /// A parsed invocation.
@@ -102,6 +122,8 @@ pub enum Command {
     TraceSim(Options),
     /// E8 mixed-technology three-level study.
     E8(Options),
+    /// Crash-resumable cross-product campaign.
+    Campaign(CampaignOptions),
     /// Static-analysis run (D1–D6 lints).
     Analyze(AnalyzeOptions),
     /// Experiment registry listing.
@@ -122,6 +144,60 @@ pub struct AnalyzeOptions {
     pub rules: Vec<String>,
     /// Workspace root to scan (`--root`, default `.`).
     pub root: Option<PathBuf>,
+}
+
+/// Options for the `campaign` subcommand (distinct from the study
+/// [`Options`]: every axis is a list, and the persistence knobs have no
+/// meaning elsewhere).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignOptions {
+    /// Campaign directory holding the checkpoint and the store
+    /// (`--out`, required).
+    pub out: PathBuf,
+    /// L1 size axis in bytes (`--l1-sizes`, KB on the command line).
+    pub l1_sizes: Vec<u64>,
+    /// L2 size axis in bytes (`--l2-sizes`, KB on the command line).
+    pub l2_sizes: Vec<u64>,
+    /// Scheme axis (`--schemes`).
+    pub schemes: Vec<SchemeArg>,
+    /// L2 technology axis, unresolved names (`--techs`).
+    pub techs: Vec<String>,
+    /// Temperature axis in °C (`--temps`).
+    pub temps_c: Vec<f64>,
+    /// AMAT slack fraction per cell (`--slack`).
+    pub slack: f64,
+    /// Shorter simulations and the coarse knob grid (`--quick`).
+    pub quick: bool,
+    /// Cells between checkpoint rewrites (`--checkpoint-every`).
+    pub checkpoint_every: usize,
+    /// New-cell budget for this run (`--max-cells`).
+    pub max_cells: Option<usize>,
+    /// Discard an existing checkpoint (`--fresh`).
+    pub fresh: bool,
+    /// Treat an unusable store as fatal (`--require-store`).
+    pub require_store: bool,
+    /// CSV output path (`--csv`).
+    pub csv: Option<PathBuf>,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        CampaignOptions {
+            out: PathBuf::new(),
+            l1_sizes: vec![16 * 1024, 32 * 1024],
+            l2_sizes: vec![256 * 1024, 1024 * 1024],
+            schemes: vec![SchemeArg::Uniform, SchemeArg::Split],
+            techs: vec!["sram".to_owned()],
+            temps_c: vec![80.0],
+            slack: 0.15,
+            quick: false,
+            checkpoint_every: 8,
+            max_cells: None,
+            fresh: false,
+            require_store: false,
+            csv: None,
+        }
+    }
 }
 
 /// Assignment scheme selector (mirrors `nm_cache_core::groups::Scheme`
@@ -245,6 +321,9 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, CliErro
     }
     if cmd == "analyze" {
         return parse_analyze(args);
+    }
+    if cmd == "campaign" {
+        return parse_campaign(args);
     }
 
     let mut opts = Options::default();
@@ -428,6 +507,121 @@ fn parse_analyze<I: Iterator<Item = String>>(args: I) -> Result<Command, CliErro
         i += 1;
     }
     Ok(Command::Analyze(opts))
+}
+
+/// Parses a comma-separated list, one parsed element per non-empty
+/// entry; an empty or all-comma value is an error (an empty axis is a
+/// mistake, not a request for a zero-cell campaign).
+fn parse_list<T>(
+    flag: &str,
+    raw: &str,
+    elem: impl FnMut(&str) -> Result<T, CliError>,
+) -> Result<Vec<T>, CliError> {
+    let items: Vec<&str> = raw
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    if items.is_empty() {
+        return Err(CliError(format!("{flag} {raw:?} names no values")));
+    }
+    items.into_iter().map(elem).collect()
+}
+
+/// Parses the flags of the `campaign` subcommand.
+fn parse_campaign<I: Iterator<Item = String>>(args: I) -> Result<Command, CliError> {
+    let mut opts = CampaignOptions::default();
+    let mut have_out = false;
+    let rest: Vec<String> = args.collect();
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, CliError> {
+        *i += 1;
+        rest.get(*i)
+            .cloned()
+            .ok_or_else(|| CliError(format!("flag {flag} needs a value")))
+    };
+    let size_axis = |flag: &str, raw: &str| -> Result<Vec<u64>, CliError> {
+        parse_list(flag, raw, |s| {
+            let kb: u64 = s
+                .parse()
+                .map_err(|_| CliError(format!("bad {flag} entry {s:?}")))?;
+            if kb == 0 {
+                return Err(CliError(format!("{flag} entries must be positive")));
+            }
+            Ok(kb * 1024)
+        })
+    };
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "-h" | "--help" => return Ok(Command::Help),
+            "--out" => {
+                opts.out = PathBuf::from(value(&mut i, "--out")?);
+                have_out = true;
+            }
+            "--l1-sizes" => opts.l1_sizes = size_axis("--l1-sizes", &value(&mut i, "--l1-sizes")?)?,
+            "--l2-sizes" => opts.l2_sizes = size_axis("--l2-sizes", &value(&mut i, "--l2-sizes")?)?,
+            "--schemes" => {
+                let v = value(&mut i, "--schemes")?;
+                opts.schemes = parse_list("--schemes", &v, |s| match s {
+                    "uniform" | "iii" | "III" => Ok(SchemeArg::Uniform),
+                    "split" | "ii" | "II" => Ok(SchemeArg::Split),
+                    "per-component" | "i" | "I" => Ok(SchemeArg::PerComponent),
+                    other => Err(CliError(format!("unknown scheme {other:?}"))),
+                })?;
+            }
+            "--techs" => {
+                let v = value(&mut i, "--techs")?;
+                opts.techs = parse_list("--techs", &v, |s| Ok(s.to_owned()))?;
+            }
+            "--temps" => {
+                let v = value(&mut i, "--temps")?;
+                opts.temps_c = parse_list("--temps", &v, |s| {
+                    let t: f64 = s
+                        .parse()
+                        .map_err(|_| CliError(format!("bad --temps entry {s:?}")))?;
+                    if !t.is_finite() {
+                        return Err(CliError(format!("--temps entry {s:?} is not finite")));
+                    }
+                    Ok(t)
+                })?;
+            }
+            "--slack" => {
+                let v = value(&mut i, "--slack")?;
+                opts.slack = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad --slack value {v:?}")))?;
+                if !(0.0..=10.0).contains(&opts.slack) {
+                    return Err(CliError(format!("--slack {v} out of range [0, 10]")));
+                }
+            }
+            "--quick" => opts.quick = true,
+            "--checkpoint-every" => {
+                let v = value(&mut i, "--checkpoint-every")?;
+                opts.checkpoint_every = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad --checkpoint-every value {v:?}")))?;
+                if opts.checkpoint_every == 0 {
+                    return Err(CliError("--checkpoint-every must be positive".into()));
+                }
+            }
+            "--max-cells" => {
+                let v = value(&mut i, "--max-cells")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad --max-cells value {v:?}")))?;
+                opts.max_cells = Some(n);
+            }
+            "--fresh" => opts.fresh = true,
+            "--require-store" => opts.require_store = true,
+            "--csv" => opts.csv = Some(PathBuf::from(value(&mut i, "--csv")?)),
+            other => return Err(CliError(format!("unknown flag {other:?} for campaign"))),
+        }
+        i += 1;
+    }
+    if !have_out {
+        return Err(CliError("campaign requires --out <DIR>".into()));
+    }
+    Ok(Command::Campaign(opts))
 }
 
 #[cfg(test)]
@@ -616,6 +810,69 @@ mod tests {
         assert!(parse_str("analyze --rules ,").is_err());
         assert!(parse_str("fig1 --json out.json").is_err());
         assert_eq!(parse_str("analyze --help"), Ok(Command::Help));
+    }
+
+    #[test]
+    fn campaign_parses_with_defaults_and_requires_out() {
+        assert!(parse_str("campaign").is_err());
+        match parse_str("campaign --out runs/a").unwrap() {
+            Command::Campaign(o) => {
+                assert_eq!(o.out, PathBuf::from("runs/a"));
+                assert_eq!(o.l1_sizes, vec![16 * 1024, 32 * 1024]);
+                assert_eq!(o.l2_sizes, vec![256 * 1024, 1024 * 1024]);
+                assert_eq!(o.schemes, vec![SchemeArg::Uniform, SchemeArg::Split]);
+                assert_eq!(o.techs, vec!["sram".to_owned()]);
+                assert_eq!(o.temps_c, vec![80.0]);
+                assert_eq!(o.checkpoint_every, 8);
+                assert_eq!(o.max_cells, None);
+                assert!(!o.fresh);
+                assert!(!o.require_store);
+                assert!(!o.quick);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(parse_str("campaign --help"), Ok(Command::Help));
+    }
+
+    #[test]
+    fn campaign_axes_parse_as_lists() {
+        match parse_str(
+            "campaign --out d --l1-sizes 8,16 --l2-sizes 512 --schemes uniform,per-component \
+             --techs sram,edram --temps 40,80,110 --slack 0.2 --quick \
+             --checkpoint-every 2 --max-cells 3 --fresh --require-store --csv t.csv",
+        )
+        .unwrap()
+        {
+            Command::Campaign(o) => {
+                assert_eq!(o.l1_sizes, vec![8 * 1024, 16 * 1024]);
+                assert_eq!(o.l2_sizes, vec![512 * 1024]);
+                assert_eq!(o.schemes, vec![SchemeArg::Uniform, SchemeArg::PerComponent]);
+                assert_eq!(o.techs, vec!["sram".to_owned(), "edram".to_owned()]);
+                assert_eq!(o.temps_c, vec![40.0, 80.0, 110.0]);
+                assert!((o.slack - 0.2).abs() < 1e-12);
+                assert!(o.quick);
+                assert_eq!(o.checkpoint_every, 2);
+                assert_eq!(o.max_cells, Some(3));
+                assert!(o.fresh);
+                assert!(o.require_store);
+                assert_eq!(o.csv.unwrap(), PathBuf::from("t.csv"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn campaign_rejects_bad_values() {
+        assert!(parse_str("campaign --out d --l1-sizes 0").is_err());
+        assert!(parse_str("campaign --out d --l1-sizes lots").is_err());
+        assert!(parse_str("campaign --out d --l2-sizes ,").is_err());
+        assert!(parse_str("campaign --out d --schemes bogus").is_err());
+        assert!(parse_str("campaign --out d --temps warm").is_err());
+        assert!(parse_str("campaign --out d --temps nan").is_err());
+        assert!(parse_str("campaign --out d --checkpoint-every 0").is_err());
+        assert!(parse_str("campaign --out d --slack 99").is_err());
+        assert!(parse_str("campaign --out d --steps 4").is_err());
+        assert!(parse_str("fig1 --out d").is_err());
     }
 
     #[test]

@@ -8,8 +8,11 @@ use nmcache::archsim::trace::{
 };
 use nmcache::archsim::workload::{SuiteKind, Workload};
 use nmcache::archsim::MissRateTable;
-use nmcache::cli::{self, AnalyzeOptions, CliError, Command, LogLevelArg, Options, SchemeArg};
+use nmcache::cli::{
+    self, AnalyzeOptions, CampaignOptions, CliError, Command, LogLevelArg, Options, SchemeArg,
+};
 use nmcache::core::amat::MainMemory;
+use nmcache::core::campaign::{Campaign, CampaignConfig, CampaignError};
 use nmcache::core::decay::DecayStudy;
 use nmcache::core::fitcheck::fit_report;
 use nmcache::core::groups::Scheme;
@@ -23,8 +26,10 @@ use nmcache::core::twolevel::{TwoLevelStudy, STANDARD_SUITES};
 use nmcache::core::variation::{paper_16kb_variation, VariationStudy};
 use nmcache::core::StudyError;
 use nmcache::device::{KnobGrid, TechProfile, TechnologyNode};
+use nmcache::store::Store;
 use std::fmt;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 /// A fatal error, classified so each failure class maps to a distinct,
 /// documented exit code (see `EXIT CODES` in [`cli::USAGE`]).
@@ -42,6 +47,10 @@ enum AppError {
     /// The findings themselves were already printed; this only carries
     /// the summary line for the final `error:` message.
     Findings(String),
+    /// The persistence layer failed: a corrupt or mismatched campaign
+    /// checkpoint, a checkpoint write failure, or `--require-store`
+    /// with no usable store.
+    Store(String),
 }
 
 impl AppError {
@@ -52,6 +61,7 @@ impl AppError {
             AppError::Study(_) | AppError::Findings(_) => 3,
             AppError::Trace(_) => 4,
             AppError::Io(_) => 5,
+            AppError::Store(_) => 6,
         }
     }
 }
@@ -64,6 +74,7 @@ impl fmt::Display for AppError {
             AppError::Trace(e) => write!(f, "trace: {e}"),
             AppError::Io(e) => write!(f, "{e}"),
             AppError::Findings(summary) => write!(f, "{summary}"),
+            AppError::Store(e) => write!(f, "{e}"),
         }
     }
 }
@@ -101,6 +112,17 @@ impl From<TraceError> for AppError {
 impl From<std::io::Error> for AppError {
     fn from(e: std::io::Error) -> Self {
         AppError::Io(e)
+    }
+}
+
+impl From<CampaignError> for AppError {
+    fn from(e: CampaignError) -> Self {
+        // A per-cell model failure is a study problem (exit 3); every
+        // other variant is the persistence layer failing (exit 6).
+        match e {
+            CampaignError::Study(e) => AppError::Study(e),
+            other => AppError::Store(other.to_string()),
+        }
     }
 }
 
@@ -245,6 +267,7 @@ fn command_name(command: &Command) -> &'static str {
         Command::SplitL1(_) => "split-l1",
         Command::TraceSim(_) => "trace-sim",
         Command::E8(_) => "e8",
+        Command::Campaign(_) => "campaign",
         Command::Analyze(_) => "analyze",
         Command::List => "list",
         Command::Help => "help",
@@ -268,7 +291,7 @@ fn options_of(command: &Command) -> Option<&Options> {
         | Command::SplitL1(o)
         | Command::TraceSim(o)
         | Command::E8(o) => Some(o),
-        Command::Analyze(_) | Command::List | Command::Help => None,
+        Command::Campaign(_) | Command::Analyze(_) | Command::List | Command::Help => None,
     }
 }
 
@@ -556,8 +579,77 @@ fn run(command: Command) -> Result<(), AppError> {
             let outcome = study.compare(&candidates, opts.slack)?;
             emit(&outcome.to_table(), &opts)
         }
+        Command::Campaign(opts) => run_campaign(&opts),
         Command::Analyze(opts) => run_analyze(&opts),
     }
+}
+
+/// Runs a crash-resumable cross-product campaign rooted at `--out`:
+/// checkpoint at `<out>/checkpoint.nmck`, persistent store at
+/// `<out>/store`. An interrupted campaign (`--max-cells`, a crash, a
+/// kill) resumes by rerunning the same command.
+fn run_campaign(opts: &CampaignOptions) -> Result<(), AppError> {
+    let config = CampaignConfig {
+        l1_sizes: opts.l1_sizes.clone(),
+        l2_sizes: opts.l2_sizes.clone(),
+        schemes: opts.schemes.iter().copied().map(scheme_of).collect(),
+        l2_techs: opts
+            .techs
+            .iter()
+            .map(|n| tech_of(Some(n)))
+            .collect::<Result<_, _>>()?,
+        temperatures_c: opts.temps_c.clone(),
+        slack: opts.slack,
+        quick: opts.quick,
+        checkpoint_every: opts.checkpoint_every,
+    };
+    std::fs::create_dir_all(&opts.out).map_err(|e| {
+        AppError::Store(format!(
+            "cannot create campaign directory {}: {e}",
+            opts.out.display()
+        ))
+    })?;
+    // The store is an accelerator, not a correctness requirement: if it
+    // cannot open, warn and run without it — unless --require-store
+    // promotes that to a persistence failure.
+    let store = match Store::open(&opts.out.join("store")) {
+        Ok(s) => Some(Arc::new(s)),
+        Err(e) if opts.require_store => {
+            return Err(AppError::Store(format!("cannot open store: {e}")));
+        }
+        Err(e) => {
+            eprintln!("warning: continuing without store: {e}");
+            None
+        }
+    };
+    let checkpoint = opts.out.join("checkpoint.nmck");
+    let campaign = Campaign::new(config, store);
+    let outcome = campaign.run(&checkpoint, opts.fresh, opts.max_cells)?;
+
+    let table = outcome.to_table();
+    println!("{table}");
+    if let Some(path) = &opts.csv {
+        table.write_csv(path)?;
+        println!("[csv] {}", path.display());
+    }
+    for (cell, reason) in outcome.failures() {
+        eprintln!("warning: cell {cell} failed: {reason}");
+    }
+    println!(
+        "campaign: {} computed, {} resumed, {} failed, {} of {} cells done",
+        outcome.computed,
+        outcome.resumed,
+        outcome.failed,
+        outcome.computed + outcome.resumed,
+        outcome.total,
+    );
+    if !outcome.complete {
+        println!(
+            "rerun the same command to resume from {}",
+            checkpoint.display()
+        );
+    }
+    Ok(())
 }
 
 /// Runs the D1–D6 static-analysis pass and maps the outcome onto the

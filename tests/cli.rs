@@ -185,6 +185,136 @@ fn unknown_suite_is_rejected() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown suite"));
 }
 
+/// A tiny two-cell campaign invocation rooted at `dir`.
+fn campaign_cmd(dir: &std::path::Path) -> Command {
+    let mut cmd = nmcache();
+    cmd.args([
+        "campaign",
+        "--l1-sizes",
+        "16",
+        "--l2-sizes",
+        "64",
+        "--schemes",
+        "uniform",
+        "--temps",
+        "40,80",
+        "--quick",
+        "--checkpoint-every",
+        "1",
+        "--out",
+    ])
+    .arg(dir);
+    cmd
+}
+
+fn campaign_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("nmcache-cli-campaign-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn campaign_without_out_is_a_usage_error() {
+    let out = nmcache()
+        .args(["campaign", "--quick"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "usage errors exit with 2");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--out"), "{err}");
+}
+
+#[test]
+fn campaign_interrupted_and_resumed_matches_uninterrupted() {
+    // Golden: one uninterrupted run writing a CSV.
+    let golden_dir = campaign_dir("golden");
+    let golden_csv = golden_dir.join("table.csv");
+    let out = campaign_cmd(&golden_dir)
+        .arg("--csv")
+        .arg(&golden_csv)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let golden = std::fs::read_to_string(&golden_csv).expect("golden csv");
+
+    // Interrupted: one cell per process, resuming from the checkpoint.
+    let dir = campaign_dir("resume");
+    let out = campaign_cmd(&dir)
+        .args(["--max-cells", "1"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("1 of 2 cells done"), "{text}");
+    assert!(text.contains("rerun the same command"), "{text}");
+
+    let csv = dir.join("table.csv");
+    let out = campaign_cmd(&dir)
+        .arg("--csv")
+        .arg(&csv)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("1 computed, 1 resumed"), "{text}");
+    let resumed = std::fs::read_to_string(&csv).expect("resumed csv");
+    assert_eq!(resumed, golden, "resumed table must match uninterrupted");
+
+    let _ = std::fs::remove_dir_all(&golden_dir);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn campaign_corrupt_checkpoint_is_a_persistence_error_and_fresh_recovers() {
+    let dir = campaign_dir("corrupt");
+    let out = campaign_cmd(&dir)
+        .args(["--max-cells", "1"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Flip one byte in the middle of the checkpoint.
+    let ckpt = dir.join("checkpoint.nmck");
+    let mut bytes = std::fs::read(&ckpt).expect("checkpoint exists");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&ckpt, &bytes).expect("checkpoint rewritten");
+
+    let out = campaign_cmd(&dir).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(6), "persistence errors exit with 6");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--fresh"), "recovery hint expected: {err}");
+
+    let out = campaign_cmd(&dir)
+        .arg("--fresh")
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("2 of 2 cells done"), "{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn thermal_runs_quickly_end_to_end() {
     let out = nmcache().arg("thermal").output().expect("binary runs");
