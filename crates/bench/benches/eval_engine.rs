@@ -20,9 +20,9 @@ use nm_device::TechnologyNode;
 use nm_geometry::{CacheCircuit, CacheConfig, ComponentKnobs};
 use nm_opt::constraint::best_under_deadline;
 use nm_opt::merge::system_front;
+use nm_telemetry::Stopwatch;
 use std::hint::black_box;
 use std::path::PathBuf;
-use std::time::Instant;
 
 const SCHEME: Scheme = Scheme::Uniform;
 const L1_BYTES: u64 = 16 * 1024;
@@ -78,13 +78,23 @@ fn direct_sweep(
     feasible
 }
 
-/// Wall-clock of `iterations` runs of `f`, in milliseconds (mean).
-fn time_ms(iterations: u32, mut f: impl FnMut()) -> f64 {
-    let start = Instant::now();
-    for _ in 0..iterations {
-        f();
-    }
-    start.elapsed().as_secs_f64() * 1e3 / f64::from(iterations)
+/// Per-iteration wall seconds of `iterations` runs of `f`, timed with
+/// the telemetry stopwatch. The registry is disabled while measuring;
+/// the caller replays these into a histogram afterwards, so the report
+/// gets a real latency distribution, not just the mean.
+fn iteration_seconds(iterations: u32, mut f: impl FnMut()) -> Vec<f64> {
+    (0..iterations)
+        .map(|_| {
+            let clock = Stopwatch::start();
+            f();
+            clock.elapsed_seconds()
+        })
+        .collect()
+}
+
+/// Mean of `seconds`, in milliseconds.
+fn mean_ms(seconds: &[f64]) -> f64 {
+    seconds.iter().sum::<f64>() * 1e3 / seconds.len().max(1) as f64
 }
 
 fn bench(c: &mut Criterion) {
@@ -96,23 +106,25 @@ fn bench(c: &mut Criterion) {
         .expect("sizes simulated");
 
     // Cold: the first sweep pays for building the component surfaces.
-    let cold_start = Instant::now();
+    let cold_clock = Stopwatch::start();
     let sweep = study
         .l2_size_sweep(L1_BYTES, &l2_sizes, SCHEME, target)
         .expect("sizes simulated");
-    let cold_ms = cold_start.elapsed().as_secs_f64() * 1e3;
+    let cold_ms = cold_clock.elapsed_seconds() * 1e3;
     black_box(&sweep);
 
-    let before_ms = time_ms(ITERATIONS, || {
+    let before_seconds = iteration_seconds(ITERATIONS, || {
         black_box(direct_sweep(&study, &tech, &l2_sizes, target));
     });
-    let after_ms = time_ms(ITERATIONS, || {
+    let after_seconds = iteration_seconds(ITERATIONS, || {
         black_box(
             study
                 .l2_size_sweep(L1_BYTES, &l2_sizes, SCHEME, target)
                 .expect("sizes simulated"),
         );
     });
+    let before_ms = mean_ms(&before_seconds);
+    let after_ms = mean_ms(&after_seconds);
     let speedup = before_ms / after_ms;
 
     // Render the artifact through the shared telemetry report writer so
@@ -135,6 +147,14 @@ fn bench(c: &mut Criterion) {
     nm_telemetry::set_gauge("bench.before_direct_ms", before_ms);
     nm_telemetry::set_gauge("bench.after_memoized_ms", after_ms);
     nm_telemetry::set_gauge("bench.speedup", speedup);
+    // Replay the raw per-iteration samples as histograms so the report
+    // carries p50/p95/p99 alongside the legacy mean gauges.
+    for &s in &before_seconds {
+        nm_telemetry::observe_seconds("bench.direct_sweep_seconds", s);
+    }
+    for &s in &after_seconds {
+        nm_telemetry::observe_seconds("bench.memoized_sweep_seconds", s);
+    }
     let report = nm_telemetry::RunReport::from_snapshot(nm_telemetry::drain());
     nm_telemetry::disable();
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_eval.json");

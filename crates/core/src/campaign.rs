@@ -415,6 +415,7 @@ impl Campaign {
                     break;
                 }
             }
+            let clock = nm_telemetry::Stopwatch::start();
             let outcome = match self.compute_cell(idx) {
                 Ok(row) => {
                     nm_telemetry::counter_inc(crate::names::CAMPAIGN_CELLS_COMPUTED);
@@ -425,6 +426,7 @@ impl Campaign {
                     CellOutcome::Failed(e.to_string())
                 }
             };
+            clock.observe(crate::names::CAMPAIGN_CELL_LATENCY);
             cells.insert(key, outcome);
             computed += 1;
             since_checkpoint += 1;

@@ -51,6 +51,9 @@ pub const CAMPAIGN_CELLS_RESUMED: &str = "campaign.cells_resumed";
 /// Counter: campaign cells whose computation failed (recorded in the
 /// table; the campaign continued).
 pub const CAMPAIGN_CELLS_FAILED: &str = "campaign.cells_failed";
+/// Histogram: seconds spent computing one campaign cell (success or
+/// failure), the per-cell tail-latency companion to the totals above.
+pub const CAMPAIGN_CELL_LATENCY: &str = "campaign.cell.latency";
 /// Counter: atomic checkpoint rewrites.
 pub const CAMPAIGN_CHECKPOINTS: &str = "campaign.checkpoints";
 /// Histogram: seconds spent encoding and atomically writing one

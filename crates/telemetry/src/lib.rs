@@ -63,7 +63,7 @@ mod span;
 
 pub use clock::Stopwatch;
 pub use registry::{HistogramSummary, Snapshot, SweepRecord};
-pub use report::RunReport;
+pub use report::{RunReport, SCHEMA_VERSION};
 pub use span::{SpanGuard, SpanRecord};
 
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};

@@ -88,21 +88,32 @@ impl HistogramSummary {
         }
     }
 
-    /// Bucket-resolution quantile estimate: the upper bound of the first
-    /// bucket whose cumulative count reaches `q · count`, clamped to the
-    /// observed `[min, max]`. Returns `0.0` when empty.
+    /// Quantile estimate with log-linear interpolation inside the
+    /// winning log₂ bucket: the target rank `⌈q · count⌉` selects a
+    /// bucket, and the estimate is placed at the matching geometric
+    /// fraction of that bucket's `[2^k, 2^(k+1))` span, clamped to the
+    /// observed `[min, max]`. Returns `0.0` when empty. The result is
+    /// monotone in `q` and never more than one bucket away from the
+    /// exact sample quantile.
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
         }
         let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
-        let mut cumulative = 0u64;
+        let mut before = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
-            cumulative += n;
-            if cumulative >= target {
-                let upper = 2f64.powi(i as i32 - BUCKET_OFFSET + 1);
-                return upper.clamp(self.min, self.max);
+            if n == 0 {
+                continue;
             }
+            if before + n >= target {
+                // Rank fraction within this bucket, in (0, 1]; a full
+                // fraction lands exactly on the bucket's upper bound.
+                let rank_fraction = (target - before) as f64 / n as f64;
+                let log2_lower = f64::from(i as i32 - BUCKET_OFFSET);
+                let estimate = (log2_lower + rank_fraction).exp2();
+                return estimate.clamp(self.min, self.max);
+            }
+            before += n;
         }
         self.max
     }
@@ -273,5 +284,85 @@ mod tests {
         h.record(2.0);
         assert_eq!(h.count, 1);
         assert_eq!(h.sum, 2.0);
+    }
+
+    #[test]
+    fn quantile_of_constant_stream_is_that_constant() {
+        // 1.5 sits strictly inside bucket [1, 2); the interpolated
+        // estimate clamps to the degenerate [min, max] = [1.5, 1.5].
+        let mut h = HistogramSummary::new();
+        for _ in 0..100 {
+            h.record(1.5);
+        }
+        assert_eq!(h.quantile(0.01), 1.5);
+        assert_eq!(h.quantile(0.5), 1.5);
+        assert_eq!(h.quantile(1.0), 1.5);
+    }
+
+    #[test]
+    fn quantile_at_bucket_boundaries() {
+        // 50 observations at 1.0 (bucket [1, 2)) and 50 at 4.0
+        // (bucket [4, 8)).
+        let mut h = HistogramSummary::new();
+        for _ in 0..50 {
+            h.record(1.0);
+        }
+        for _ in 0..50 {
+            h.record(4.0);
+        }
+        // p50 exhausts the low bucket: rank fraction 1.0 lands exactly
+        // on its upper bound.
+        assert_eq!(h.quantile(0.5), 2.0);
+        // p100 exhausts the high bucket; 2^3 = 8 clamps to max = 4.
+        assert_eq!(h.quantile(1.0), 4.0);
+        // Rank 1 of 50 in [1, 2) interpolates to 2^(1/50), above min.
+        let low = h.quantile(1e-9);
+        assert!(low >= 1.0 && low <= 2f64.powf(0.02), "{low}");
+        // A power-of-two observation lands at the bottom of its bucket
+        // and the clamp still pins the estimate to the sample.
+        let mut single = HistogramSummary::new();
+        single.record(2.0);
+        assert_eq!(single.quantile(0.5), 2.0);
+    }
+
+    #[test]
+    fn quantile_handles_subnormal_bucket_zero() {
+        // Values below 2^-30 collapse into bucket 0; the clamp keeps
+        // the estimate inside the observed range.
+        let mut h = HistogramSummary::new();
+        h.record(1e-12);
+        h.record(2e-12);
+        let p50 = h.quantile(0.5);
+        assert!((1e-12..=2e-12).contains(&p50), "{p50}");
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(64))]
+
+        /// The interpolated estimate never lands more than one log₂
+        /// bucket away from the exact quantile of the recorded sample.
+        #[test]
+        fn quantile_tracks_exact_sample_quantile_within_one_bucket(
+            samples in proptest::collection::vec(1e-12f64..1e3, 1..200),
+            q in 0.0f64..=1.0,
+        ) {
+            let mut h = HistogramSummary::new();
+            for &s in &samples {
+                h.record(s);
+            }
+            let mut sorted = samples.clone();
+            sorted.sort_by(f64::total_cmp);
+            let rank = ((q * sorted.len() as f64).ceil().max(1.0) as usize).min(sorted.len());
+            let exact = sorted[rank - 1];
+            let estimate = h.quantile(q);
+            let eb = HistogramSummary::bucket_of(estimate) as i64;
+            let xb = HistogramSummary::bucket_of(exact) as i64;
+            proptest::prop_assert!(
+                (eb - xb).abs() <= 1,
+                "estimate {} (bucket {}) vs exact {} (bucket {})",
+                estimate, eb, exact, xb
+            );
+            proptest::prop_assert!(estimate >= h.min && estimate <= h.max);
+        }
     }
 }

@@ -15,7 +15,10 @@ use std::path::Path;
 
 /// Version of the metrics-report JSON schema. Bump when the key set or
 /// meaning of an existing key changes.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2: histograms gained a `p99` key and `p50`/`p95`/`p99` switched
+/// from bucket-upper-bound estimates to log-linear interpolation.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// A metrics run report captured from a registry [`Snapshot`].
 ///
@@ -139,6 +142,8 @@ fn histograms(map: &BTreeMap<String, HistogramSummary>, w: &mut JsonWriter) {
         w.f64(h.quantile(0.5));
         w.key("p95");
         w.f64(h.quantile(0.95));
+        w.key("p99");
+        w.f64(h.quantile(0.99));
         w.end_object();
     }
     w.end_object();

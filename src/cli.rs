@@ -30,6 +30,9 @@ COMMANDS:
   trace-sim            Replay a trace file through an L1/L2 hierarchy
   e8                   E8: 3-level mixed-technology hierarchy (SRAM/eDRAM/STT-MRAM)
   campaign             Crash-resumable cross-product sweep with checkpoints
+  loadgen              Replay a seeded query mix against one evaluator and
+                       publish p50/p95/p99 latency per query class
+  benchdiff            Compare two telemetry reports and gate on p99 regression
   analyze              Run the D1-D6 determinism & safety lints over the workspace
 
 ANALYZE OPTIONS (only valid after `analyze`):
@@ -53,6 +56,23 @@ CAMPAIGN OPTIONS (only valid after `campaign`):
   --require-store      Fail (exit 6) if the store cannot open, instead of
                        continuing without persistence
   --csv <PATH>         Also write the result table as CSV
+  --threads <N>        Worker threads for parallel sweeps
+  --stats              Print per-sweep executor statistics after the run
+  --metrics <PATH>     Write a schema-versioned JSON telemetry report
+                       (includes the campaign.cell.latency histogram)
+
+LOADGEN OPTIONS (only valid after `loadgen`):
+  --seed <N>           Mix seed (default 2005); a fixed seed and thread count
+                       replay byte-identical counters and mix composition
+  --queries <N>        Queries to synthesize (default 200)
+  --rate <QPS>         Open-loop arrival rate; omit for closed-loop replay
+  --quick              Coarse knob grid (CI-sized work items)
+  --threads <N>        Worker threads for the replay pool
+  --out <PATH>         Report path (default BENCH_serve.json)
+
+BENCHDIFF OPTIONS (usage: `benchdiff <BASELINE.json> <CANDIDATE.json>`):
+  --max-ratio <R>      Highest allowed candidate/baseline p99 ratio after
+                       machine-scale normalization (default 2.0)
 
 OPTIONS:
   --quick              Shorter architectural simulations (tests/smoke)
@@ -87,6 +107,8 @@ EXIT CODES:
   5  I/O error (missing trace file, unwritable CSV path)
   6  persistence error (corrupt or mismatched campaign checkpoint,
      checkpoint write failure, or --require-store with no usable store)
+  7  SLO regression (benchdiff: a candidate p99 exceeded --max-ratio x
+     the baseline p99 after machine-scale normalization)
 ";
 
 /// A parsed invocation.
@@ -124,6 +146,10 @@ pub enum Command {
     E8(Options),
     /// Crash-resumable cross-product campaign.
     Campaign(CampaignOptions),
+    /// Deterministic query-mix load generation.
+    Loadgen(LoadgenOptions),
+    /// Report comparison with the p99 SLO gate.
+    Benchdiff(BenchdiffOptions),
     /// Static-analysis run (D1–D6 lints).
     Analyze(AnalyzeOptions),
     /// Experiment registry listing.
@@ -178,6 +204,12 @@ pub struct CampaignOptions {
     pub require_store: bool,
     /// CSV output path (`--csv`).
     pub csv: Option<PathBuf>,
+    /// Worker-thread override for parallel sweeps (`--threads`).
+    pub threads: Option<usize>,
+    /// Print per-sweep executor statistics after the run (`--stats`).
+    pub stats: bool,
+    /// Telemetry report output path (`--metrics`).
+    pub metrics: Option<PathBuf>,
 }
 
 impl Default for CampaignOptions {
@@ -196,8 +228,52 @@ impl Default for CampaignOptions {
             fresh: false,
             require_store: false,
             csv: None,
+            threads: None,
+            stats: false,
+            metrics: None,
         }
     }
+}
+
+/// Options for the `loadgen` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadgenOptions {
+    /// Mix seed (`--seed`).
+    pub seed: u64,
+    /// Queries to synthesize (`--queries`).
+    pub queries: usize,
+    /// Open-loop arrival rate (`--rate`); `None` = closed loop.
+    pub rate_qps: Option<f64>,
+    /// Coarse knob grid (`--quick`).
+    pub quick: bool,
+    /// Worker-thread override for the replay pool (`--threads`).
+    pub threads: Option<usize>,
+    /// Report output path (`--out`).
+    pub out: PathBuf,
+}
+
+impl Default for LoadgenOptions {
+    fn default() -> Self {
+        LoadgenOptions {
+            seed: 2005,
+            queries: 200,
+            rate_qps: None,
+            quick: false,
+            threads: None,
+            out: PathBuf::from("BENCH_serve.json"),
+        }
+    }
+}
+
+/// Options for the `benchdiff` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchdiffOptions {
+    /// Baseline report path (first positional).
+    pub baseline: PathBuf,
+    /// Candidate report path (second positional).
+    pub candidate: PathBuf,
+    /// Highest allowed normalized p99 ratio (`--max-ratio`).
+    pub max_ratio: f64,
 }
 
 /// Assignment scheme selector (mirrors `nm_cache_core::groups::Scheme`
@@ -324,6 +400,12 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, CliErro
     }
     if cmd == "campaign" {
         return parse_campaign(args);
+    }
+    if cmd == "loadgen" {
+        return parse_loadgen(args);
+    }
+    if cmd == "benchdiff" {
+        return parse_benchdiff(args);
     }
 
     let mut opts = Options::default();
@@ -614,6 +696,18 @@ fn parse_campaign<I: Iterator<Item = String>>(args: I) -> Result<Command, CliErr
             "--fresh" => opts.fresh = true,
             "--require-store" => opts.require_store = true,
             "--csv" => opts.csv = Some(PathBuf::from(value(&mut i, "--csv")?)),
+            "--threads" => {
+                let v = value(&mut i, "--threads")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad --threads value {v:?}")))?;
+                if n == 0 {
+                    return Err(CliError("--threads must be positive".into()));
+                }
+                opts.threads = Some(n);
+            }
+            "--stats" => opts.stats = true,
+            "--metrics" => opts.metrics = Some(PathBuf::from(value(&mut i, "--metrics")?)),
             other => return Err(CliError(format!("unknown flag {other:?} for campaign"))),
         }
         i += 1;
@@ -622,6 +716,111 @@ fn parse_campaign<I: Iterator<Item = String>>(args: I) -> Result<Command, CliErr
         return Err(CliError("campaign requires --out <DIR>".into()));
     }
     Ok(Command::Campaign(opts))
+}
+
+/// Parses the flags of the `loadgen` subcommand.
+fn parse_loadgen<I: Iterator<Item = String>>(args: I) -> Result<Command, CliError> {
+    let mut opts = LoadgenOptions::default();
+    let rest: Vec<String> = args.collect();
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, CliError> {
+        *i += 1;
+        rest.get(*i)
+            .cloned()
+            .ok_or_else(|| CliError(format!("flag {flag} needs a value")))
+    };
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "-h" | "--help" => return Ok(Command::Help),
+            "--seed" => {
+                let v = value(&mut i, "--seed")?;
+                opts.seed = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad --seed value {v:?}")))?;
+            }
+            "--queries" => {
+                let v = value(&mut i, "--queries")?;
+                opts.queries = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad --queries value {v:?}")))?;
+                if opts.queries == 0 {
+                    return Err(CliError("--queries must be positive".into()));
+                }
+            }
+            "--rate" => {
+                let v = value(&mut i, "--rate")?;
+                let rate: f64 = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad --rate value {v:?}")))?;
+                if !rate.is_finite() || rate <= 0.0 {
+                    return Err(CliError(format!("--rate {v} must be a positive rate")));
+                }
+                opts.rate_qps = Some(rate);
+            }
+            "--quick" => opts.quick = true,
+            "--threads" => {
+                let v = value(&mut i, "--threads")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad --threads value {v:?}")))?;
+                if n == 0 {
+                    return Err(CliError("--threads must be positive".into()));
+                }
+                opts.threads = Some(n);
+            }
+            "--out" => opts.out = PathBuf::from(value(&mut i, "--out")?),
+            other => return Err(CliError(format!("unknown flag {other:?} for loadgen"))),
+        }
+        i += 1;
+    }
+    Ok(Command::Loadgen(opts))
+}
+
+/// Parses the `benchdiff` subcommand: two positional report paths, then
+/// flags.
+fn parse_benchdiff<I: Iterator<Item = String>>(args: I) -> Result<Command, CliError> {
+    let rest: Vec<String> = args.collect();
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut max_ratio = 2.0f64;
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, CliError> {
+        *i += 1;
+        rest.get(*i)
+            .cloned()
+            .ok_or_else(|| CliError(format!("flag {flag} needs a value")))
+    };
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "-h" | "--help" => return Ok(Command::Help),
+            "--max-ratio" => {
+                let v = value(&mut i, "--max-ratio")?;
+                max_ratio = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad --max-ratio value {v:?}")))?;
+                if !max_ratio.is_finite() || max_ratio <= 0.0 {
+                    return Err(CliError(format!(
+                        "--max-ratio {v} must be a positive ratio"
+                    )));
+                }
+            }
+            flag if flag.starts_with('-') => {
+                return Err(CliError(format!("unknown flag {flag:?} for benchdiff")))
+            }
+            path => paths.push(PathBuf::from(path)),
+        }
+        i += 1;
+    }
+    let [baseline, candidate] = <[PathBuf; 2]>::try_from(paths).map_err(|got| {
+        CliError(format!(
+            "benchdiff needs exactly two report paths (<BASELINE> <CANDIDATE>), got {}",
+            got.len()
+        ))
+    })?;
+    Ok(Command::Benchdiff(BenchdiffOptions {
+        baseline,
+        candidate,
+        max_ratio,
+    }))
 }
 
 #[cfg(test)]
@@ -873,6 +1072,87 @@ mod tests {
         assert!(parse_str("campaign --out d --slack 99").is_err());
         assert!(parse_str("campaign --out d --steps 4").is_err());
         assert!(parse_str("fig1 --out d").is_err());
+    }
+
+    #[test]
+    fn campaign_telemetry_flags_parse() {
+        match parse_str("campaign --out d --threads 2 --stats --metrics m.json").unwrap() {
+            Command::Campaign(o) => {
+                assert_eq!(o.threads, Some(2));
+                assert!(o.stats);
+                assert_eq!(o.metrics.unwrap(), PathBuf::from("m.json"));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_str("campaign --out d").unwrap() {
+            Command::Campaign(o) => {
+                assert_eq!(o.threads, None);
+                assert!(!o.stats);
+                assert_eq!(o.metrics, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_str("campaign --out d --threads 0").is_err());
+    }
+
+    #[test]
+    fn loadgen_parses_with_defaults_and_flags() {
+        match parse_str("loadgen").unwrap() {
+            Command::Loadgen(o) => {
+                assert_eq!(o.seed, 2005);
+                assert_eq!(o.queries, 200);
+                assert_eq!(o.rate_qps, None);
+                assert!(!o.quick);
+                assert_eq!(o.threads, None);
+                assert_eq!(o.out, PathBuf::from("BENCH_serve.json"));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_str(
+            "loadgen --seed 7 --queries 32 --rate 120.5 --quick --threads 3 --out s.json",
+        )
+        .unwrap()
+        {
+            Command::Loadgen(o) => {
+                assert_eq!(o.seed, 7);
+                assert_eq!(o.queries, 32);
+                assert_eq!(o.rate_qps, Some(120.5));
+                assert!(o.quick);
+                assert_eq!(o.threads, Some(3));
+                assert_eq!(o.out, PathBuf::from("s.json"));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(parse_str("loadgen --help"), Ok(Command::Help));
+        assert!(parse_str("loadgen --queries 0").is_err());
+        assert!(parse_str("loadgen --rate -4").is_err());
+        assert!(parse_str("loadgen --rate fast").is_err());
+        assert!(parse_str("loadgen --threads 0").is_err());
+        assert!(parse_str("loadgen --seed minus-one").is_err());
+        assert!(parse_str("loadgen --csv x.csv").is_err());
+    }
+
+    #[test]
+    fn benchdiff_takes_two_positional_reports() {
+        match parse_str("benchdiff base.json cand.json").unwrap() {
+            Command::Benchdiff(o) => {
+                assert_eq!(o.baseline, PathBuf::from("base.json"));
+                assert_eq!(o.candidate, PathBuf::from("cand.json"));
+                assert!((o.max_ratio - 2.0).abs() < 1e-12);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_str("benchdiff a.json b.json --max-ratio 1.5").unwrap() {
+            Command::Benchdiff(o) => assert!((o.max_ratio - 1.5).abs() < 1e-12),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(parse_str("benchdiff --help"), Ok(Command::Help));
+        assert!(parse_str("benchdiff").is_err());
+        assert!(parse_str("benchdiff one.json").is_err());
+        assert!(parse_str("benchdiff a.json b.json c.json").is_err());
+        assert!(parse_str("benchdiff a.json b.json --max-ratio 0").is_err());
+        assert!(parse_str("benchdiff a.json b.json --max-ratio huge").is_err());
+        assert!(parse_str("benchdiff a.json b.json --wat").is_err());
     }
 
     #[test]

@@ -16,6 +16,7 @@ pub use nm_archsim as archsim;
 pub use nm_cache_core as core;
 pub use nm_device as device;
 pub use nm_geometry as geometry;
+pub use nm_loadgen as loadgen;
 pub use nm_opt as opt;
 pub use nm_store as store;
 pub use nm_sweep as sweep;

@@ -9,7 +9,8 @@ use nmcache::archsim::trace::{
 use nmcache::archsim::workload::{SuiteKind, Workload};
 use nmcache::archsim::MissRateTable;
 use nmcache::cli::{
-    self, AnalyzeOptions, CampaignOptions, CliError, Command, LogLevelArg, Options, SchemeArg,
+    self, AnalyzeOptions, BenchdiffOptions, CampaignOptions, CliError, Command, LoadgenOptions,
+    LogLevelArg, Options, SchemeArg,
 };
 use nmcache::core::amat::MainMemory;
 use nmcache::core::campaign::{Campaign, CampaignConfig, CampaignError};
@@ -51,6 +52,10 @@ enum AppError {
     /// checkpoint, a checkpoint write failure, or `--require-store`
     /// with no usable store.
     Store(String),
+    /// `nmcache benchdiff` found at least one histogram whose candidate
+    /// p99 exceeds the allowed ratio over the baseline. The comparison
+    /// table was already printed; this carries the summary line.
+    Slo(String),
 }
 
 impl AppError {
@@ -62,6 +67,7 @@ impl AppError {
             AppError::Trace(_) => 4,
             AppError::Io(_) => 5,
             AppError::Store(_) => 6,
+            AppError::Slo(_) => 7,
         }
     }
 }
@@ -75,6 +81,7 @@ impl fmt::Display for AppError {
             AppError::Io(e) => write!(f, "{e}"),
             AppError::Findings(summary) => write!(f, "{summary}"),
             AppError::Store(e) => write!(f, "{e}"),
+            AppError::Slo(summary) => write!(f, "{summary}"),
         }
     }
 }
@@ -173,6 +180,29 @@ struct TelemetryPlan {
 /// registry stays disabled and instrumented code pays one relaxed
 /// atomic load per call site, keeping golden outputs byte-identical.
 fn configure_telemetry(command: &Command) -> TelemetryPlan {
+    // Campaign and loadgen carry their own thread/telemetry flags
+    // (loadgen arms and drains the registry itself — its report *is*
+    // the command's product, not an optional add-on).
+    if let Command::Campaign(opts) = command {
+        if let Some(n) = opts.threads {
+            nmcache::sweep::set_global_workers(Some(n));
+        }
+        if opts.stats || opts.metrics.is_some() {
+            nmcache::telemetry::enable();
+            nmcache::telemetry::set_note("command", "campaign");
+        }
+        return TelemetryPlan {
+            show_stats: opts.stats,
+            metrics: opts.metrics.clone(),
+            trace_out: None,
+        };
+    }
+    if let Command::Loadgen(opts) = command {
+        if let Some(n) = opts.threads {
+            nmcache::sweep::set_global_workers(Some(n));
+        }
+        return TelemetryPlan::default();
+    }
     let Some(opts) = options_of(command) else {
         return TelemetryPlan::default();
     };
@@ -268,6 +298,8 @@ fn command_name(command: &Command) -> &'static str {
         Command::TraceSim(_) => "trace-sim",
         Command::E8(_) => "e8",
         Command::Campaign(_) => "campaign",
+        Command::Loadgen(_) => "loadgen",
+        Command::Benchdiff(_) => "benchdiff",
         Command::Analyze(_) => "analyze",
         Command::List => "list",
         Command::Help => "help",
@@ -291,7 +323,12 @@ fn options_of(command: &Command) -> Option<&Options> {
         | Command::SplitL1(o)
         | Command::TraceSim(o)
         | Command::E8(o) => Some(o),
-        Command::Campaign(_) | Command::Analyze(_) | Command::List | Command::Help => None,
+        Command::Campaign(_)
+        | Command::Loadgen(_)
+        | Command::Benchdiff(_)
+        | Command::Analyze(_)
+        | Command::List
+        | Command::Help => None,
     }
 }
 
@@ -580,8 +617,134 @@ fn run(command: Command) -> Result<(), AppError> {
             emit(&outcome.to_table(), &opts)
         }
         Command::Campaign(opts) => run_campaign(&opts),
+        Command::Loadgen(opts) => run_loadgen(&opts),
+        Command::Benchdiff(opts) => run_benchdiff(&opts),
         Command::Analyze(opts) => run_analyze(&opts),
     }
+}
+
+/// Replays a deterministic query mix against the in-process evaluator
+/// and publishes the drained telemetry registry as a schema-versioned
+/// serve report (`BENCH_serve.json` by default) with p50/p95/p99 per
+/// query class.
+fn run_loadgen(opts: &LoadgenOptions) -> Result<(), AppError> {
+    let config = nmcache::loadgen::LoadgenConfig {
+        seed: opts.seed,
+        queries: opts.queries,
+        mode: match opts.rate_qps {
+            Some(rate_qps) => nmcache::loadgen::Mode::Open { rate_qps },
+            None => nmcache::loadgen::Mode::Closed,
+        },
+        quick: opts.quick,
+    };
+    nmcache::telemetry::reset();
+    nmcache::telemetry::enable();
+    nmcache::telemetry::set_note("command", "loadgen");
+    let summary = nmcache::loadgen::run(&config)?;
+    let snapshot = nmcache::telemetry::drain();
+    nmcache::telemetry::disable();
+
+    let mut table = Table::new(
+        format!(
+            "Serve latency, seed {} ({} queries)",
+            opts.seed, summary.queries
+        ),
+        &["class", "queries", "p50 (ms)", "p95 (ms)", "p99 (ms)"],
+    );
+    for class in nmcache::loadgen::QueryClass::ALL {
+        let Some(h) = snapshot.histograms.get(class.latency_name()) else {
+            continue;
+        };
+        table.push_row(vec![
+            class.label().to_string(),
+            h.count.to_string(),
+            cell(h.quantile(0.50) * 1e3, 3),
+            cell(h.quantile(0.95) * 1e3, 3),
+            cell(h.quantile(0.99) * 1e3, 3),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "loadgen: {} queries ({} feasible, {} infeasible, {} errors) \
+         in {:.2}s, {:.1} qps",
+        summary.queries,
+        summary.feasible,
+        summary.infeasible,
+        summary.errors,
+        summary.wall_seconds,
+        summary.throughput_qps,
+    );
+    if let Some(msg) = &summary.first_error {
+        eprintln!("warning: first query error: {msg}");
+    }
+    nmcache::telemetry::RunReport::from_snapshot(snapshot)
+        .write(&opts.out)
+        .map_err(|e| {
+            std::io::Error::new(
+                e.kind(),
+                format!("cannot write serve report {}: {e}", opts.out.display()),
+            )
+        })?;
+    println!("[serve] {}", opts.out.display());
+    Ok(())
+}
+
+/// Compares two serve reports and fails with the SLO exit code when the
+/// candidate's p99 regresses past `--max-ratio` on any histogram.
+fn run_benchdiff(opts: &BenchdiffOptions) -> Result<(), AppError> {
+    let read = |path: &std::path::Path| -> Result<String, AppError> {
+        std::fs::read_to_string(path)
+            .map_err(|e| {
+                std::io::Error::new(
+                    e.kind(),
+                    format!("cannot read report {}: {e}", path.display()),
+                )
+            })
+            .map_err(AppError::from)
+    };
+    let baseline = read(&opts.baseline)?;
+    let candidate = read(&opts.candidate)?;
+    let report = nmcache::loadgen::diff(&baseline, &candidate, opts.max_ratio)
+        .map_err(|e| AppError::Usage(CliError(e.to_string())))?;
+
+    let mut table = Table::new(
+        format!(
+            "p99 comparison, {} vs {} (max ratio {}, machine scale {:.3})",
+            opts.baseline.display(),
+            opts.candidate.display(),
+            opts.max_ratio,
+            report.machine_scale,
+        ),
+        &[
+            "histogram",
+            "base p99 (ms)",
+            "cand p99 (ms)",
+            "ratio",
+            "verdict",
+        ],
+    );
+    for h in &report.histograms {
+        table.push_row(vec![
+            h.name.clone(),
+            cell(h.base_p99 * 1e3, 3),
+            cell(h.cand_p99 * 1e3, 3),
+            cell(h.ratio, 3),
+            if h.regressed { "REGRESSED" } else { "ok" }.to_string(),
+        ]);
+    }
+    println!("{table}");
+    let regressions = report.regressions();
+    if regressions > 0 {
+        return Err(AppError::Slo(format!(
+            "benchdiff: {regressions} histogram(s) regressed past {}x p99",
+            opts.max_ratio
+        )));
+    }
+    println!(
+        "benchdiff: {} histogram(s) compared, none regressed",
+        report.histograms.len()
+    );
+    Ok(())
 }
 
 /// Runs a crash-resumable cross-product campaign rooted at `--out`:

@@ -1,0 +1,186 @@
+//! End-to-end tests of `nmcache loadgen` and `nmcache benchdiff`:
+//! deterministic replay, the serve-report schema, and the SLO
+//! regression gate's exit-code contract.
+
+use std::path::Path;
+use std::process::Command;
+
+fn nmcache() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_nmcache"))
+}
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("nmcache-loadgen-{name}"));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+fn run_loadgen(out: &Path, seed: &str) {
+    let status = nmcache()
+        .args(["loadgen", "--quick", "--queries", "24", "--seed", seed])
+        .arg("--out")
+        .arg(out)
+        .status()
+        .expect("binary runs");
+    assert!(status.success());
+}
+
+fn section<'a>(doc: &'a serde_json::Value, key: &str) -> &'a serde_json::Value {
+    doc.get(key)
+        .unwrap_or_else(|| panic!("report missing section {key:?}"))
+}
+
+#[test]
+fn loadgen_report_is_replay_deterministic_with_percentiles_per_class() {
+    let dir = temp_dir("determinism");
+    let a_path = dir.join("a.json");
+    let b_path = dir.join("b.json");
+    run_loadgen(&a_path, "2005");
+    run_loadgen(&b_path, "2005");
+
+    let a = serde_json::parse_value(&std::fs::read_to_string(&a_path).expect("a.json"))
+        .expect("a parses");
+    let b = serde_json::parse_value(&std::fs::read_to_string(&b_path).expect("b.json"))
+        .expect("b parses");
+
+    // Counters and the mix note are byte-identical across replays of
+    // the same seed; only timing (gauges, histograms, spans) may move.
+    assert_eq!(section(&a, "counters"), section(&b, "counters"));
+    assert_eq!(
+        section(&a, "notes").get("loadgen.mix"),
+        section(&b, "notes").get("loadgen.mix")
+    );
+    assert_eq!(
+        section(&a, "schema_version"),
+        &serde_json::Value::U64(nmcache::telemetry::SCHEMA_VERSION)
+    );
+
+    // Every query class publishes p50/p95/p99.
+    let histograms = section(&a, "histograms");
+    for class in ["cold", "warm", "tuple", "adversarial", "mixed"] {
+        let hist = histograms
+            .get(&format!("loadgen.latency.{class}"))
+            .unwrap_or_else(|| panic!("missing histogram for class {class}"));
+        for key in ["p50", "p95", "p99"] {
+            let quantile = hist.get(key).unwrap_or_else(|| panic!("{class}/{key}"));
+            assert!(
+                matches!(quantile, serde_json::Value::F64(v) if *v > 0.0),
+                "{class}/{key}: {quantile:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn different_seeds_produce_different_mixes() {
+    let dir = temp_dir("seeds");
+    let a_path = dir.join("a.json");
+    let b_path = dir.join("b.json");
+    run_loadgen(&a_path, "1");
+    run_loadgen(&b_path, "2");
+    let a = serde_json::parse_value(&std::fs::read_to_string(&a_path).expect("a.json"))
+        .expect("a parses");
+    let b = serde_json::parse_value(&std::fs::read_to_string(&b_path).expect("b.json"))
+        .expect("b parses");
+    assert_ne!(
+        section(&a, "notes").get("loadgen.mix"),
+        section(&b, "notes").get("loadgen.mix")
+    );
+}
+
+#[test]
+fn benchdiff_self_comparison_exits_zero() {
+    let dir = temp_dir("selfcompare");
+    let path = dir.join("serve.json");
+    run_loadgen(&path, "2005");
+    let out = nmcache()
+        .arg("benchdiff")
+        .arg(&path)
+        .arg(&path)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0), "{:?}", out);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("none regressed"), "{text}");
+}
+
+#[test]
+fn benchdiff_flags_an_injected_p99_regression_with_exit_7() {
+    let dir = temp_dir("regression");
+    let base_path = dir.join("base.json");
+    run_loadgen(&base_path, "2005");
+    let base = std::fs::read_to_string(&base_path).expect("base.json");
+
+    // Inject a 3x regression on every p99 by rescaling the candidate's
+    // p99 fields (keeps the machine-scale gauge untouched, so the gate
+    // sees a genuine slowdown rather than a slower host).
+    let mut value = serde_json::parse_value(&base).expect("base parses");
+    let serde_json::Value::Object(sections) = &mut value else {
+        panic!("report must be an object");
+    };
+    let histograms = sections
+        .iter_mut()
+        .find(|(k, _)| k == "histograms")
+        .map(|(_, v)| v)
+        .expect("histograms section");
+    let serde_json::Value::Object(histograms) = histograms else {
+        panic!("histograms must be an object");
+    };
+    let mut injected = 0;
+    for (_, hist) in histograms.iter_mut() {
+        let serde_json::Value::Object(fields) = hist else {
+            continue;
+        };
+        for (key, field) in fields.iter_mut() {
+            if key != "p99" {
+                continue;
+            }
+            match field {
+                serde_json::Value::F64(v) => *v *= 3.0,
+                serde_json::Value::U64(n) => *field = serde_json::Value::F64(*n as f64 * 3.0),
+                other => panic!("non-numeric p99: {other:?}"),
+            }
+            injected += 1;
+        }
+    }
+    assert!(injected > 0, "no p99 fields to inject into");
+    let cand_path = dir.join("cand.json");
+    std::fs::write(&cand_path, value.to_json()).expect("write cand");
+
+    let out = nmcache()
+        .arg("benchdiff")
+        .arg(&base_path)
+        .arg(&cand_path)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(7), "SLO regressions exit with 7");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("REGRESSED"), "{text}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("regressed past"), "{err}");
+}
+
+#[test]
+fn benchdiff_rejects_malformed_and_missing_reports() {
+    let dir = temp_dir("malformed");
+    let good = dir.join("good.json");
+    run_loadgen(&good, "2005");
+    let bad = dir.join("bad.json");
+    std::fs::write(&bad, "not json").expect("write bad");
+
+    let out = nmcache()
+        .arg("benchdiff")
+        .arg(&good)
+        .arg(&bad)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "malformed reports exit with 2");
+
+    let out = nmcache()
+        .arg("benchdiff")
+        .arg(&good)
+        .arg(dir.join("nonexistent.json"))
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(5), "missing files exit with 5");
+}

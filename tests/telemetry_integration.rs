@@ -89,7 +89,10 @@ fn report_json_round_trips_through_the_serde_shim() {
             .map(|(_, v)| v)
             .unwrap_or_else(|| panic!("missing section {key:?}"))
     };
-    assert_eq!(get("schema_version"), &serde_json::Value::U64(1));
+    assert_eq!(
+        get("schema_version"),
+        &serde_json::Value::U64(telemetry::SCHEMA_VERSION)
+    );
     assert_eq!(
         get("generator"),
         &serde_json::Value::Str("nm-telemetry".into())
